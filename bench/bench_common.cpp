@@ -1,0 +1,260 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace rex::bench {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const std::string& bench_name,
+                                 const std::string& description,
+                                 int exit_code) {
+  std::printf(
+      "%s — %s\n"
+      "\n"
+      "Flags:\n"
+      "  --paper-scale   full paper scale (610 nodes / 15k users); slow\n"
+      "  --epochs N      override the epoch count\n"
+      "  --seed S        experiment seed (default 1)\n"
+      "  --csv DIR       dump per-epoch series as CSV into DIR\n"
+      "  --threads N     simulator worker threads (default: hardware)\n"
+      "  --help          this text\n",
+      bench_name.c_str(), description.c_str());
+  std::exit(exit_code);
+}
+
+/// Reduced default: 128 of the paper's 610 one-user nodes. Keeps sparsity
+/// and distribution shape (data::scaled_config) at ~5x less work.
+constexpr double kDefaultOneUserScale = 128.0 / 610.0;
+
+}  // namespace
+
+Options parse_options(int argc, char** argv, const std::string& bench_name,
+                      const std::string& description) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", arg.c_str());
+        usage_and_exit(bench_name, description, 2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--paper-scale") {
+      options.paper_scale = true;
+    } else if (arg == "--epochs") {
+      options.epochs = static_cast<std::size_t>(std::strtoull(
+          next_value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--csv") {
+      options.csv_dir = next_value();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(std::strtoull(
+          next_value(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      usage_and_exit(bench_name, description, 0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage_and_exit(bench_name, description, 2);
+    }
+  }
+  return options;
+}
+
+std::string Cell::name() const {
+  std::string label = core::to_string(algorithm);
+  label += ", ";
+  label += sim::to_string(topology);
+  return label;
+}
+
+const std::vector<Cell>& standard_cells() {
+  static const std::vector<Cell> cells = {
+      {core::Algorithm::kRmw, sim::TopologyKind::kSmallWorld},
+      {core::Algorithm::kRmw, sim::TopologyKind::kErdosRenyi},
+      {core::Algorithm::kDpsgd, sim::TopologyKind::kSmallWorld},
+      {core::Algorithm::kDpsgd, sim::TopologyKind::kErdosRenyi},
+  };
+  return cells;
+}
+
+sim::Scenario one_user_scenario(const Options& options, const Cell& cell,
+                                core::SharingMode sharing) {
+  sim::Scenario scenario;
+  scenario.dataset = data::movielens_latest_config();
+  if (!options.paper_scale) {
+    // Reduce users/ratings but keep the full item catalog: the MF model is
+    // item-dominated ((n_items + n_users) * k parameters), and the
+    // model-to-raw-data size ratio is the quantity behind the paper's
+    // 2-orders-of-magnitude traffic gap (Fig 2).
+    scenario.dataset.n_users = static_cast<std::size_t>(
+        610 * kDefaultOneUserScale);
+    scenario.dataset.n_ratings = static_cast<std::size_t>(
+        100000 * kDefaultOneUserScale);
+  }
+  scenario.dataset.seed = options.seed ^ 0xDA7A;
+  scenario.topology = cell.topology;
+  scenario.nodes = 0;  // one node per user
+  scenario.model = sim::ModelKind::kMf;
+  scenario.rex.algorithm = cell.algorithm;
+  scenario.rex.sharing = sharing;
+  scenario.rex.data_points_per_epoch = 300;  // §IV-A3a
+  if (!options.paper_scale) {
+    // Preserve the paper's ER mean degree (0.05 * 609 ~ 30.45 at 610
+    // nodes): the degree is what drives the D-PSGD ER traffic blow-up.
+    const double n = static_cast<double>(scenario.dataset.n_users);
+    scenario.er_edge_probability = std::min(0.4, 30.45 / (n - 1.0));
+  }
+  scenario.epochs = options.epochs_or(100);
+  scenario.seed = options.seed;
+  scenario.threads = options.threads;
+  return scenario;
+}
+
+sim::Scenario multi_user_scenario(const Options& options, const Cell& cell,
+                                  core::SharingMode sharing) {
+  sim::Scenario scenario = one_user_scenario(options, cell, sharing);
+  // §IV-B-b: the full 610 users partitioned over 50 nodes (cheap enough to
+  // run unreduced even by default).
+  scenario.dataset = data::movielens_latest_config();
+  scenario.dataset.seed = options.seed ^ 0xDA7A;
+  scenario.nodes = 50;
+  // The paper keeps p = 5% at 50 nodes, where ER is much sparser than SW
+  // (mean degree ~2.5) — no degree-preserving override here.
+  scenario.er_edge_probability = 0.05;
+  scenario.epochs = options.epochs_or(100);
+  return scenario;
+}
+
+sim::Scenario dnn_scenario(const Options& options,
+                           sim::TopologyKind topology,
+                           core::SharingMode sharing) {
+  sim::Scenario scenario;
+  scenario.dataset =
+      options.paper_scale
+          ? data::movielens_latest_config()
+          : data::scaled_config(data::movielens_latest_config(), 0.4);
+  scenario.dataset.seed = options.seed ^ 0xDA7A;
+  scenario.topology = topology;
+  scenario.nodes = options.paper_scale ? 50 : 24;
+  // p = 5% at the paper's 50 nodes; preserve that mean degree (~2.45, much
+  // sparser than SW — the driver of Fig 5's ER-vs-SW difference) when the
+  // default scale reduces the node count.
+  scenario.er_edge_probability =
+      options.paper_scale
+          ? 0.05
+          : std::min(0.4, 0.05 * 49.0 /
+                              (static_cast<double>(scenario.nodes) - 1.0));
+  scenario.model = sim::ModelKind::kDnn;
+  scenario.rex.algorithm = core::Algorithm::kDpsgd;  // §IV-B-b: D-PSGD
+  scenario.rex.sharing = sharing;
+  scenario.rex.data_points_per_epoch = 40;  // §IV-A3b
+  scenario.epochs = options.epochs_or(options.paper_scale ? 80 : 60);
+  scenario.seed = options.seed;
+  scenario.threads = options.threads;
+  return scenario;
+}
+
+sim::Scenario sgx_scenario(const Options& options, core::Algorithm algorithm,
+                           core::SharingMode sharing, bool secure,
+                           bool large_dataset) {
+  sim::Scenario scenario;
+  scenario.dataset = large_dataset ? data::movielens_25m_capped_config()
+                                   : data::movielens_latest_config();
+  scenario.dataset.seed = options.seed ^ 0xDA7A;
+  scenario.topology = sim::TopologyKind::kFullyConnected;
+  scenario.nodes = 8;       // §IV-C: 8 processes, 28 pair-wise connections
+  scenario.platforms = 4;   // on 4 SGX servers
+  scenario.model = sim::ModelKind::kMf;
+  scenario.rex.algorithm = algorithm;
+  scenario.rex.sharing = sharing;
+  scenario.rex.data_points_per_epoch = 300;
+  scenario.rex.security = secure ? enclave::SecurityMode::kSgxSimulated
+                                 : enclave::SecurityMode::kNative;
+  if (large_dataset) {
+    // The paper picks the 15k-user cap precisely so that resident enclave
+    // memory overcommits the 93.5 MiB EPC (§IV-D). Our accounting counts
+    // only algorithmic state (model + merge scratch + store + index), which
+    // peaks well below the byte volumes a real process accrues (Eigen
+    // buffers, allocator slack, code). To reproduce the same *occupancy
+    // regime*, the simulated EPC budget is set so the D-PSGD MS run lands
+    // ~1.4x beyond it and REX stays below it, mirroring Fig 7 / Table IV
+    // (204 MiB vs 93.5 MiB, and 45.9-53.9 MiB for REX). See EXPERIMENTS.md.
+    scenario.rex.epc.available_bytes = 16ull << 20;
+    scenario.rex.epc.total_bytes = 22ull << 20;
+  }
+  scenario.epochs = options.epochs_or(60);
+  scenario.seed = options.seed;
+  scenario.threads = options.threads;
+  return scenario;
+}
+
+sim::ExperimentResult run_logged(const sim::Scenario& scenario) {
+  const std::string label =
+      scenario.label.empty() ? sim::scenario_label(scenario) : scenario.label;
+  std::fprintf(stderr, "  running %-28s ...", label.c_str());
+  std::fflush(stderr);
+  const auto start = std::chrono::steady_clock::now();
+  sim::ExperimentResult result = sim::run_scenario(scenario);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  std::fprintf(stderr, " done (%.1f s wall, final RMSE %.3f)\n", wall,
+               result.final_rmse());
+  return result;
+}
+
+void maybe_csv(const Options& options, const sim::ExperimentResult& result,
+               const std::string& file) {
+  if (options.csv_dir.empty()) return;
+  std::filesystem::create_directories(options.csv_dir);
+  sim::write_csv(result, options.csv_dir + "/" + file + ".csv");
+}
+
+void print_header(const std::string& title, const Options& options) {
+  std::printf("==============================================================="
+              "=\n%s\n", title.c_str());
+  std::printf("scale: %s   seed: %llu\n",
+              options.paper_scale ? "paper (full)" : "default (reduced)",
+              static_cast<unsigned long long>(options.seed));
+  std::printf("==============================================================="
+              "=\n");
+}
+
+std::string format_bytes(double bytes) {
+  char buffer[32];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f GiB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f MiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.0f B", bytes);
+  }
+  return buffer;
+}
+
+std::string format_time(double seconds) {
+  char buffer[32];
+  if (seconds >= 3600.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f s", seconds);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1f ms", seconds * 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace rex::bench

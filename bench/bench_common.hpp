@@ -1,0 +1,98 @@
+// Shared infrastructure for the per-figure/per-table bench binaries.
+//
+// Every bench accepts the same flags:
+//   --paper-scale   run at the paper's full scale (610 nodes / 15k users /
+//                   full epoch counts) instead of the reduced default
+//   --epochs N      override the epoch count
+//   --seed S        experiment seed (default 1)
+//   --csv DIR       dump raw per-epoch series as CSV files into DIR
+//   --threads N     simulator worker threads (default: hardware)
+//
+// The default scales are chosen so the complete bench suite finishes in
+// minutes on a laptop while preserving every shape the paper reports
+// (orderings, crossovers, orders of magnitude). EXPERIMENTS.md records the
+// paper-vs-measured comparison for both scales.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace rex::bench {
+
+struct Options {
+  bool paper_scale = false;
+  std::size_t epochs = 0;  // 0 = use the bench's default
+  std::uint64_t seed = 1;
+  std::string csv_dir;  // empty = no CSV dumps
+  std::size_t threads = 0;
+
+  /// Epochs to run: the explicit override, else `fallback`.
+  [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {
+    return epochs != 0 ? epochs : fallback;
+  }
+};
+
+/// Parses the standard flags; prints usage and exits on --help or errors.
+[[nodiscard]] Options parse_options(int argc, char** argv,
+                                    const std::string& bench_name,
+                                    const std::string& description);
+
+/// One (algorithm, topology) evaluation cell of the paper's 2x2 grid.
+struct Cell {
+  core::Algorithm algorithm;
+  sim::TopologyKind topology;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// The paper's four cells in its reporting order (Figs 1/2/4, Tables II/III).
+[[nodiscard]] const std::vector<Cell>& standard_cells();
+
+/// Scenario for the one-node-per-user experiments (§IV-B-a, Figs 1-3,
+/// Table II): MovieLens-Latest-shaped dataset, MF, k=10, 300 points/epoch.
+/// Default scale runs 128 nodes; paper scale runs the full 610.
+[[nodiscard]] sim::Scenario one_user_scenario(const Options& options,
+                                              const Cell& cell,
+                                              core::SharingMode sharing);
+
+/// Scenario for the multiple-users-per-node experiments (§IV-B-b, Fig 4,
+/// Table III): 610 users partitioned over 50 nodes.
+[[nodiscard]] sim::Scenario multi_user_scenario(const Options& options,
+                                                const Cell& cell,
+                                                core::SharingMode sharing);
+
+/// Scenario for the DNN experiments (§IV-B-b, Fig 5): D-PSGD, 40 points
+/// per epoch, Adam. Default runs 24 nodes; paper scale runs 50.
+[[nodiscard]] sim::Scenario dnn_scenario(const Options& options,
+                                         sim::TopologyKind topology,
+                                         core::SharingMode sharing);
+
+/// Scenario for the SGX hardware experiments (§IV-C/D, Figs 6/7, Table IV):
+/// 8 nodes on 4 platforms, fully connected (28 pair-wise connections).
+/// `large_dataset` selects the 15k-user dataset that overcommits the EPC.
+[[nodiscard]] sim::Scenario sgx_scenario(const Options& options,
+                                         core::Algorithm algorithm,
+                                         core::SharingMode sharing,
+                                         bool secure, bool large_dataset);
+
+/// Runs a scenario, echoing a one-line progress note to stderr.
+[[nodiscard]] sim::ExperimentResult run_logged(const sim::Scenario& scenario);
+
+/// Writes `result` to `<csv_dir>/<file>.csv` when --csv was given.
+void maybe_csv(const Options& options, const sim::ExperimentResult& result,
+               const std::string& file);
+
+/// Prints the standard bench header (figure/table id + configuration).
+void print_header(const std::string& title, const Options& options);
+
+/// Human-readable byte count ("3.2 KiB", "18 MiB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Human-readable simulated duration ("12.3 s", "4.1 min").
+[[nodiscard]] std::string format_time(double seconds);
+
+}  // namespace rex::bench

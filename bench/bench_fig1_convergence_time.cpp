@@ -1,0 +1,79 @@
+// Figure 1 — one node per user, MF model: evolution of the nodes' mean test
+// RMSE against simulated elapsed time, for the four (algorithm x topology)
+// cells, REX (raw data sharing) versus MS (model sharing) versus the
+// centralized baseline.
+//
+// Expected shape (paper §IV-B-a): all three converge to about the same
+// error; centralized is fastest; REX reaches any target error well before
+// MS in every cell.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_fig1_convergence_time",
+      "Fig 1: test error vs simulated time, one node per user (MF)");
+  bench::print_header(
+      "Figure 1 — One node per user (MF): test error vs time", options);
+
+  // Centralized baseline: same dataset/model; epochs chosen so it clearly
+  // reaches its floor.
+  const sim::Scenario reference = bench::one_user_scenario(
+      options, bench::standard_cells().front(), core::SharingMode::kRawData);
+  std::fprintf(stderr, "  running centralized baseline ...\n");
+  const sim::ExperimentResult centralized =
+      sim::run_scenario_centralized(reference, 30);
+  bench::maybe_csv(options, centralized, "fig1_centralized");
+
+  for (const bench::Cell& cell : bench::standard_cells()) {
+    const sim::ExperimentResult rex = bench::run_logged(
+        bench::one_user_scenario(options, cell, core::SharingMode::kRawData));
+    const sim::ExperimentResult ms = bench::run_logged(
+        bench::one_user_scenario(options, cell, core::SharingMode::kModel));
+
+    std::printf("\n--- %s ---\n", cell.name().c_str());
+    std::printf("%8s | %-21s | %-21s\n", "", "REX", "MS");
+    std::printf("%8s | %9s %11s | %9s %11s\n", "epoch", "time", "mean RMSE",
+                "time", "mean RMSE");
+    const std::size_t stride = std::max<std::size_t>(1, rex.rounds.size() / 8);
+    for (std::size_t e = 0; e < rex.rounds.size(); e += stride) {
+      std::printf("%8zu | %9s %11.4f | %9s %11.4f\n", e,
+                  bench::format_time(rex.rounds[e].cumulative_time.seconds)
+                      .c_str(),
+                  rex.rounds[e].mean_rmse,
+                  bench::format_time(ms.rounds[e].cumulative_time.seconds)
+                      .c_str(),
+                  ms.rounds[e].mean_rmse);
+    }
+    std::printf("%8s | %9s %11.4f | %9s %11.4f\n", "final",
+                bench::format_time(rex.total_time().seconds).c_str(),
+                rex.final_rmse(),
+                bench::format_time(ms.total_time().seconds).c_str(),
+                ms.final_rmse());
+
+    // The shape check of the figure: REX reaches MS's final error sooner.
+    const auto rex_hit = rex.time_to_reach(ms.final_rmse() + 0.005);
+    const auto ms_hit = ms.time_to_reach(ms.final_rmse() + 0.005);
+    if (rex_hit && ms_hit) {
+      std::printf("time to MS final error: REX %s vs MS %s (%.1fx)\n",
+                  bench::format_time(rex_hit->seconds).c_str(),
+                  bench::format_time(ms_hit->seconds).c_str(),
+                  ms_hit->seconds / rex_hit->seconds);
+    }
+
+    const std::string suffix = std::string(core::to_string(cell.algorithm)) +
+                               "_" + sim::to_string(cell.topology);
+    bench::maybe_csv(options, rex, "fig1_rex_" + suffix);
+    bench::maybe_csv(options, ms, "fig1_ms_" + suffix);
+  }
+
+  std::printf("\nCentralized baseline: final RMSE %.4f after %s\n",
+              centralized.final_rmse(),
+              bench::format_time(centralized.total_time().seconds).c_str());
+  std::printf("\nPaper shape (Fig 1): REX converges much faster than MS in"
+              " all four cells;\ncentralized remains fastest; all converge"
+              " to about the same error.\n");
+  return 0;
+}

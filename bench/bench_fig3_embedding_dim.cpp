@@ -1,0 +1,52 @@
+// Figure 3 — effect of the feature-vector (embedding) size k for D-PSGD on
+// the small-world topology, MF model, fixed epoch budget.
+//
+// Row 1 (MS): network load grows linearly with k at little convergence
+// benefit. Row 2 (REX): network load is flat in k because only raw data is
+// shared. This is the experiment the paper uses to justify k = 10.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_fig3_embedding_dim",
+      "Fig 3: embedding-size sweep, D-PSGD small-world (MF)");
+  bench::print_header(
+      "Figure 3 — Feature vector size sweep (D-PSGD, SW, MF)", options);
+
+  const bench::Cell cell{core::Algorithm::kDpsgd,
+                         sim::TopologyKind::kSmallWorld};
+  // The paper fixes 400 epochs; the reduced default uses 100.
+  const std::size_t epochs = options.epochs_or(options.paper_scale ? 400
+                                                                   : 100);
+  const std::size_t dims[] = {10, 20, 30, 40, 50};
+
+  for (const core::SharingMode mode :
+       {core::SharingMode::kModel, core::SharingMode::kRawData}) {
+    std::printf("\n--- %s ---\n", core::to_string(mode));
+    std::printf("%4s %12s %12s %16s %14s\n", "k", "final RMSE",
+                "total time", "traffic/epoch", "params");
+    for (const std::size_t k : dims) {
+      sim::Scenario scenario = bench::one_user_scenario(options, cell, mode);
+      scenario.mf_embedding_dim = k;
+      scenario.epochs = epochs;
+      scenario.label = std::string(core::to_string(mode)) +
+                       ", k=" + std::to_string(k);
+      const sim::ExperimentResult result = bench::run_logged(scenario);
+      std::printf("%4zu %12.4f %12s %16s %14s\n", k, result.final_rmse(),
+                  bench::format_time(result.total_time().seconds).c_str(),
+                  bench::format_bytes(result.mean_epoch_traffic()).c_str(),
+                  mode == core::SharingMode::kModel ? "(shared)" : "(local)");
+      bench::maybe_csv(options, result,
+                       std::string("fig3_") + core::to_string(mode) + "_k" +
+                           std::to_string(k));
+    }
+  }
+
+  std::printf("\nPaper shape (Fig 3): for MS the traffic grows linearly in k"
+              " at little\nconvergence benefit; for REX the traffic is"
+              " constant in k.\n");
+  return 0;
+}

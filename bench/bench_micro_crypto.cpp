@@ -1,0 +1,114 @@
+// Micro benchmarks — cryptography substrate (google-benchmark).
+//
+// These throughputs feed the CostModel calibration (crypto_byte_ns): the
+// AEAD is on REX's hot path (every protocol payload between enclaves), the
+// hash/HKDF/X25519 are per-attestation costs.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace rex;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return bytes;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(32, 2);
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void BM_AeadSeal(benchmark::State& state) {
+  crypto::ChaChaKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  const Bytes plaintext =
+      random_bytes(static_cast<std::size_t>(state.range(0)), 4);
+  const Bytes aad = random_bytes(8, 5);
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    const crypto::ChaChaNonce nonce =
+        crypto::nonce_from_sequence(sequence++, 0);
+    benchmark::DoNotOptimize(crypto::aead_seal(key, nonce, aad, plaintext));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(3600)->Arg(65536)->Arg(1 << 20);
+
+void BM_AeadOpen(benchmark::State& state) {
+  crypto::ChaChaKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 3 + 2);
+  }
+  const Bytes plaintext =
+      random_bytes(static_cast<std::size_t>(state.range(0)), 6);
+  const Bytes aad = random_bytes(8, 7);
+  const crypto::ChaChaNonce nonce = crypto::nonce_from_sequence(1, 1);
+  const Bytes sealed = crypto::aead_seal(key, nonce, aad, plaintext);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aead_open(key, nonce, aad, sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(3600)->Arg(65536);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  crypto::X25519Key alice{}, bob_public{};
+  alice.fill(0x42);
+  bob_public = crypto::x25519_public_key([] {
+    crypto::X25519Key k{};
+    k.fill(0x66);
+    return k;
+  }());
+  crypto::X25519Key out{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::x25519_shared_secret(alice, bob_public, out));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_DrbgGenerate(benchmark::State& state) {
+  crypto::Drbg drbg(99);
+  Bytes buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    drbg.generate(buffer.data(), buffer.size());
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DrbgGenerate)->Arg(32)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,221 @@
+// Privacy threat demo — what each party in REX's threat model actually
+// sees (paper §III, §IV-E-c).
+//
+// Runs a 6-node REX swarm in simulated-SGX mode and inspects the system
+// from three adversarial positions:
+//   1. the network eavesdropper: captures every wire message and checks
+//      that protocol payloads are indistinguishable-from-random ciphertext
+//      (entropy estimate) and contain no rating triplet in the clear;
+//   2. the man-in-the-middle: tampers with a captured ciphertext and
+//      replays it — the enclave rejects it (AEAD authentication);
+//   3. the honest-but-curious host: the untrusted code of a node relays
+//      blobs it cannot open because session keys never leave the enclave.
+// Contrast run: the same system in native mode, where the eavesdropper
+// recovers raw ratings from the first captured message — the exact leak
+// REX's enclaves close.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/payload.hpp"
+#include "core/untrusted_host.hpp"
+#include "data/movielens.hpp"
+#include "data/partition.hpp"
+#include "graph/topology.hpp"
+#include "ml/mf.hpp"
+#include "net/transport.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace rex;
+
+/// Shannon entropy estimate in bits/byte (8.0 = indistinguishable from
+/// random at this sample size; plaintext protocol frames sit far lower).
+double entropy_bits_per_byte(BytesView blob) {
+  if (blob.empty()) return 0.0;
+  std::array<std::size_t, 256> histogram{};
+  for (std::uint8_t b : blob) ++histogram[b];
+  double entropy = 0.0;
+  for (std::size_t count : histogram) {
+    if (count == 0) continue;
+    const double p =
+        static_cast<double>(count) / static_cast<double>(blob.size());
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+struct Swarm {
+  static constexpr std::size_t kNodes = 6;
+
+  data::Dataset dataset;
+  data::Split split;
+  std::vector<data::NodeShard> shards;
+  graph::Graph topology = graph::make_fully_connected(kNodes);
+  net::Transport transport{kNodes};
+  crypto::Drbg platform_drbg{2022};
+  std::vector<std::unique_ptr<enclave::QuotingEnclave>> qes;
+  enclave::DcapVerifier verifier;
+  std::vector<std::unique_ptr<core::UntrustedHost>> hosts;
+
+  explicit Swarm(enclave::SecurityMode security) {
+    data::SyntheticConfig config;
+    config.n_users = kNodes;
+    config.n_items = 200;
+    config.n_ratings = 400;
+    config.seed = 31;
+    dataset = data::generate_synthetic(config);
+    Rng rng(32);
+    split = data::train_test_split(dataset, 0.7, rng);
+    shards = data::partition_one_user_per_node(dataset, split);
+
+    core::RexConfig rex;
+    rex.sharing = core::SharingMode::kRawData;
+    rex.algorithm = core::Algorithm::kDpsgd;
+    rex.data_points_per_epoch = 25;
+    rex.security = security;
+
+    const enclave::EnclaveIdentity identity{
+        enclave::measure_enclave_image("rex-enclave-v1")};
+    ml::MfConfig mf;
+    mf.n_users = dataset.n_users;
+    mf.n_items = dataset.n_items;
+    mf.global_mean = static_cast<float>(dataset.mean_rating());
+    ml::ModelFactory factory = [mf](Rng& r) {
+      return std::make_unique<ml::MfModel>(mf, r);
+    };
+    for (std::size_t p = 0; p < 3; ++p) {
+      qes.push_back(std::make_unique<enclave::QuotingEnclave>(
+          static_cast<enclave::PlatformId>(p), platform_drbg));
+      verifier.register_platform(*qes.back());
+    }
+    for (core::NodeId id = 0; id < kNodes; ++id) {
+      hosts.push_back(std::make_unique<core::UntrustedHost>(
+          rex, id, identity, qes[id % qes.size()].get(), &verifier, factory,
+          100 + id, transport));
+    }
+  }
+
+  std::vector<core::NodeId> neighbors_of(core::NodeId id) {
+    return {topology.neighbors(id).begin(), topology.neighbors(id).end()};
+  }
+
+  void attest_all() {
+    for (core::NodeId id = 0; id < kNodes; ++id) {
+      hosts[id]->start_attestation(neighbors_of(id));
+    }
+    for (int round = 0; round < 6; ++round) {
+      transport.flush_round();
+      for (core::NodeId id = 0; id < kNodes; ++id) {
+        for (const net::Envelope& env : transport.drain_inbox(id)) {
+          hosts[id]->on_receive(env);
+        }
+      }
+    }
+  }
+
+  void init_all() {
+    for (core::NodeId id = 0; id < kNodes; ++id) {
+      core::TrustedInit init;
+      init.local_train = shards[id].train;
+      init.local_test = shards[id].test;
+      init.neighbors = neighbors_of(id);
+      hosts[id]->initialize(std::move(init));
+    }
+    transport.flush_round();
+  }
+};
+
+/// Tries to parse a captured wire blob as a cleartext protocol payload and
+/// recover rating triplets — the eavesdropper's attack.
+bool try_recover_ratings(BytesView blob, std::size_t* recovered) {
+  try {
+    const core::ProtocolPayload payload = core::ProtocolPayload::decode(blob);
+    *recovered = payload.ratings.size();
+    return payload.kind == core::PayloadKind::kRawData ||
+           payload.kind == core::PayloadKind::kRawDataCompressed;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== REX privacy threat demo (6 nodes, D-PSGD, raw data) ===\n");
+
+  // ---- SGX mode: the deployment configuration ----
+  {
+    Swarm swarm(enclave::SecurityMode::kSgxSimulated);
+    swarm.attest_all();
+    swarm.init_all();
+
+    // 1. Eavesdropper: capture one epoch of protocol traffic.
+    std::size_t captured = 0, decodable = 0;
+    double entropy_sum = 0.0;
+    for (core::NodeId id = 0; id < Swarm::kNodes; ++id) {
+      for (const net::Envelope& env : swarm.transport.drain_inbox(id)) {
+        if (env.kind == net::MessageKind::kProtocol) {
+          ++captured;
+          entropy_sum += entropy_bits_per_byte(env.payload);
+          std::size_t recovered = 0;
+          if (try_recover_ratings(env.payload, &recovered)) ++decodable;
+        }
+        swarm.hosts[id]->on_receive(env);
+      }
+    }
+    std::printf("\n[SGX] eavesdropper captured %zu protocol messages\n",
+                captured);
+    std::printf("[SGX]   decodable as cleartext payloads: %zu\n", decodable);
+    std::printf("[SGX]   mean payload entropy: %.2f bits/byte"
+                " (random = 8.00)\n",
+                entropy_sum / static_cast<double>(captured));
+
+    // 2. Man-in-the-middle: flip one byte of a fresh capture and deliver.
+    swarm.transport.flush_round();
+    auto inbox = swarm.transport.drain_inbox(0);
+    REX_REQUIRE(!inbox.empty(), "expected epoch-1 traffic");
+    net::Envelope tampered = inbox.front();
+    tampered.payload[tampered.payload.size() / 2] ^= 0x01;
+    bool rejected = false;
+    try {
+      swarm.hosts[0]->on_receive(tampered);
+    } catch (const Error& e) {
+      rejected = true;
+      std::printf("[SGX] tampered ciphertext rejected: %s\n", e.what());
+    }
+    REX_REQUIRE(rejected, "tampering must not go unnoticed");
+  }
+
+  // ---- Native mode: what the enclaves are protecting against ----
+  {
+    Swarm swarm(enclave::SecurityMode::kNative);
+    swarm.init_all();
+    std::size_t recovered_ratings = 0;
+    std::size_t messages = 0;
+    double entropy_sum = 0.0;
+    for (core::NodeId id = 0; id < Swarm::kNodes; ++id) {
+      for (const net::Envelope& env : swarm.transport.drain_inbox(id)) {
+        if (env.kind != net::MessageKind::kProtocol) continue;
+        ++messages;
+        entropy_sum += entropy_bits_per_byte(env.payload);
+        std::size_t recovered = 0;
+        if (try_recover_ratings(env.payload, &recovered)) {
+          recovered_ratings += recovered;
+        }
+      }
+    }
+    std::printf("\n[native] same attack without enclaves: recovered %zu raw"
+                " ratings from %zu messages\n",
+                recovered_ratings, messages);
+    std::printf("[native]   mean payload entropy: %.2f bits/byte\n",
+                entropy_sum / static_cast<double>(messages));
+  }
+
+  std::printf("\nTakeaway: with enclaves, wire payloads are authenticated"
+              " ciphertext under\npairwise attestation-derived keys — raw"
+              " data sharing leaks nothing; without\nthem the same protocol"
+              " hands every profile to a passive listener.\n");
+  return 0;
+}

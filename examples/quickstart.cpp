@@ -1,0 +1,42 @@
+// Quickstart: the smallest complete REX run.
+//
+// Builds a synthetic rating dataset, spreads it over 32 nodes (one per
+// user group) on a small-world gossip topology, and runs the REX protocol
+// (raw data sharing, D-PSGD) inside simulated SGX enclaves. Prints the
+// convergence of the nodes' mean test RMSE against simulated time.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace rex;
+
+  sim::Scenario scenario;
+  scenario.label = "quickstart: REX on 32 nodes (SGX)";
+  scenario.dataset.n_users = 32;
+  scenario.dataset.n_items = 400;
+  scenario.dataset.n_ratings = 4000;
+  scenario.nodes = 0;  // one node per user
+  scenario.topology = sim::TopologyKind::kSmallWorld;
+  scenario.model = sim::ModelKind::kMf;
+  scenario.rex.sharing = core::SharingMode::kRawData;   // <- REX
+  scenario.rex.algorithm = core::Algorithm::kDpsgd;
+  scenario.rex.data_points_per_epoch = 50;
+  scenario.rex.security = enclave::SecurityMode::kSgxSimulated;
+  scenario.epochs = 40;
+
+  std::printf("REX quickstart — %zu nodes, raw data sharing, D-PSGD, "
+              "simulated SGX\n\n",
+              scenario.dataset.n_users);
+  const sim::ExperimentResult result = sim::run_scenario(scenario);
+  sim::print_series(result, 5);
+
+  std::printf("\nfinal nodes-mean RMSE: %.4f after %s of simulated time\n",
+              result.final_rmse(), format_time(result.total_time()).c_str());
+  std::printf("mean per-node traffic: %s per epoch\n",
+              format_bytes(result.mean_epoch_traffic()).c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Per-epoch operation counters emitted by the trusted node.
+//
+// The trusted code counts *work* (SGD samples, merged parameters, bytes);
+// the simulation's CostModel converts work plus the enclave Runtime's
+// transition counters into the per-stage simulated times that Figures 1/4/5/6/7
+// chart. Keeping counting and costing separate makes the cost model
+// swappable and the counters unit-testable.
+#pragma once
+
+#include <cstdint>
+
+namespace rex::core {
+
+struct EpochCounters {
+  std::uint64_t epoch = 0;
+
+  // merge stage
+  std::uint64_t models_merged = 0;
+  std::uint64_t merged_params = 0;      // Σ parameter_count over merged models
+  std::uint64_t ratings_appended = 0;   // non-duplicate raw items stored
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t bytes_deserialized = 0;
+
+  // train stage
+  std::uint64_t sgd_samples = 0;        // sample-steps executed
+  std::uint64_t model_params = 0;       // current model size (cost scaling)
+
+  // share stage
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_serialized = 0;   // plaintext payload bytes produced
+  std::uint64_t ratings_shared = 0;
+
+  // test stage
+  std::uint64_t test_predictions = 0;
+  double rmse = 0.0;
+
+  // state snapshots
+  std::uint64_t store_size = 0;         // raw-data items held
+  std::uint64_t memory_bytes = 0;       // trusted residency estimate
+};
+
+}  // namespace rex::core

@@ -1,0 +1,71 @@
+#include "core/payload.hpp"
+
+#include "serialize/binary.hpp"
+#include "data/compress.hpp"
+#include "support/error.hpp"
+
+namespace rex::core {
+
+Bytes ProtocolPayload::encode() const {
+  serialize::BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.varint(epoch);
+  w.u32(sender_degree);
+  switch (kind) {
+    case PayloadKind::kEmpty:
+      break;
+    case PayloadKind::kRawData:
+      w.varint(ratings.size());
+      for (const data::Rating& r : ratings) {
+        w.u32(r.user);
+        w.u32(r.item);
+        w.f32(r.value);
+      }
+      break;
+    case PayloadKind::kModel:
+      w.bytes(model_blob);
+      break;
+    case PayloadKind::kRawDataCompressed:
+      data::encode_ratings_compressed(w, ratings);
+      break;
+  }
+  return w.take();
+}
+
+ProtocolPayload ProtocolPayload::decode(BytesView bytes) {
+  serialize::BinaryReader r(bytes);
+  ProtocolPayload payload;
+  const std::uint8_t kind_byte = r.u8();
+  REX_REQUIRE(
+      kind_byte <= static_cast<std::uint8_t>(PayloadKind::kRawDataCompressed),
+      "unknown payload kind");
+  payload.kind = static_cast<PayloadKind>(kind_byte);
+  payload.epoch = r.varint();
+  payload.sender_degree = r.u32();
+  switch (payload.kind) {
+    case PayloadKind::kEmpty:
+      break;
+    case PayloadKind::kRawData: {
+      const std::uint64_t count = r.varint();
+      payload.ratings.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        data::Rating rating;
+        rating.user = r.u32();
+        rating.item = r.u32();
+        rating.value = r.f32();
+        payload.ratings.push_back(rating);
+      }
+      break;
+    }
+    case PayloadKind::kModel:
+      payload.model_blob = r.bytes();
+      break;
+    case PayloadKind::kRawDataCompressed:
+      payload.ratings = data::decode_ratings_compressed(r);
+      break;
+  }
+  r.expect_end();
+  return payload;
+}
+
+}  // namespace rex::core

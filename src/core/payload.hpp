@@ -1,0 +1,36 @@
+// Protocol payload: what travels (encrypted, under SGX) between REX nodes
+// each epoch — either a batch of raw rating triplets or a serialized model,
+// plus the sender degree needed for Metropolis–Hastings weighting (§III-C2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "support/bytes.hpp"
+
+namespace rex::core {
+
+enum class PayloadKind : std::uint8_t {
+  kEmpty = 0,    // barrier keep-alive ("possibly empty" messages, §III-B)
+  kRawData = 1,  // REX: sampled rating triplets
+  kModel = 2,    // MS baseline: serialized model parameters
+  /// REX with the §IV-E-e compressed codec (delta ids + nibble-packed
+  /// half-star codes; ~3x smaller). Decodes into `ratings` like kRawData —
+  /// batch order is sorted (user, item), which is fine because receivers
+  /// treat batches as sets.
+  kRawDataCompressed = 3,
+};
+
+struct ProtocolPayload {
+  PayloadKind kind = PayloadKind::kEmpty;
+  std::uint64_t epoch = 0;
+  std::uint32_t sender_degree = 0;
+  std::vector<data::Rating> ratings;  // kRawData
+  Bytes model_blob;                   // kModel
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ProtocolPayload decode(BytesView bytes);
+};
+
+}  // namespace rex::core

@@ -1,0 +1,355 @@
+#include "core/trusted_node.hpp"
+
+#include <algorithm>
+
+#include "crypto/aead.hpp"
+#include "graph/graph.hpp"
+#include "support/error.hpp"
+
+namespace rex::core {
+
+TrustedNode::TrustedNode(const RexConfig& config, NodeId id,
+                         enclave::Runtime& runtime,
+                         const enclave::EnclaveIdentity& identity,
+                         const enclave::QuotingEnclave* quoting_enclave,
+                         const enclave::DcapVerifier* verifier,
+                         ml::ModelFactory model_factory, std::uint64_t seed,
+                         SendFn send)
+    : config_(config),
+      id_(id),
+      runtime_(runtime),
+      identity_(identity),
+      quoting_enclave_(quoting_enclave),
+      verifier_(verifier),
+      model_factory_(std::move(model_factory)),
+      send_(std::move(send)),
+      rng_(seed),
+      drbg_(seed ^ 0xA77E57A7A77E57A7ULL) {
+  REX_REQUIRE(send_ != nullptr, "trusted node needs an ocall_send proxy");
+  REX_REQUIRE(model_factory_ != nullptr, "trusted node needs a model factory");
+}
+
+// ===== Attestation =====
+
+void TrustedNode::start_attestation(const std::vector<NodeId>& neighbors) {
+  neighbors_ = neighbors;
+  std::sort(neighbors_.begin(), neighbors_.end());
+  for (NodeId peer : neighbors_) {
+    sessions_.emplace(
+        std::piecewise_construct, std::forward_as_tuple(peer),
+        std::forward_as_tuple(id_, peer, identity_, quoting_enclave_,
+                              verifier_, &drbg_));
+  }
+  // Each unordered pair handshakes once; the lower id initiates.
+  for (NodeId peer : neighbors_) {
+    if (id_ < peer) {
+      const serialize::Json challenge = session(peer).initiate();
+      Bytes blob = to_bytes(challenge.dump());
+      runtime_.record_ocall(blob.size());
+      send_(peer, net::MessageKind::kAttestation, std::move(blob));
+    }
+  }
+}
+
+void TrustedNode::on_attestation_message(NodeId src, BytesView blob) {
+  runtime_.record_ecall(blob.size());
+  const serialize::Json message =
+      serialize::Json::parse(rex::to_string(blob));
+  const std::optional<serialize::Json> reply = session(src).handle(message);
+  if (reply.has_value()) {
+    Bytes out = to_bytes(reply->dump());
+    runtime_.record_ocall(out.size());
+    send_(src, net::MessageKind::kAttestation, std::move(out));
+  }
+}
+
+enclave::AttestationSession& TrustedNode::session(NodeId peer) {
+  const auto it = sessions_.find(peer);
+  REX_REQUIRE(it != sessions_.end(), "no attestation session for this peer");
+  return it->second;
+}
+
+bool TrustedNode::attested_with(NodeId peer) const {
+  const auto it = sessions_.find(peer);
+  return it != sessions_.end() && it->second.attested();
+}
+
+bool TrustedNode::fully_attested() const {
+  return std::all_of(
+      neighbors_.begin(), neighbors_.end(),
+      [this](NodeId peer) { return attested_with(peer); });
+}
+
+// ===== Protocol =====
+
+void TrustedNode::ecall_init(TrustedInit init) {
+  REX_REQUIRE(!initialized_, "ecall_init called twice");
+  const std::size_t init_bytes =
+      (init.local_train.size() + init.local_test.size()) *
+      sizeof(data::Rating);
+  runtime_.record_ecall(init_bytes);
+
+  // Algorithm 2 lines 2-3: copy the local partition into protected memory
+  // and initialize data structures.
+  store_ = std::move(init.local_train);
+  store_index_.reserve(store_.size() * 2);
+  for (const data::Rating& r : store_) store_index_.insert(pair_key(r));
+  test_data_ = std::move(init.local_test);
+  if (neighbors_.empty() && !init.neighbors.empty()) {
+    // Attestation may be skipped in native mode; adopt the neighbor list.
+    neighbors_ = init.neighbors;
+    std::sort(neighbors_.begin(), neighbors_.end());
+  }
+  model_ = model_factory_(rng_);
+  initialized_ = true;
+  update_memory_accounting();
+
+  // Algorithm 2 line 4: epoch 0 on the initial data.
+  counters_ = EpochCounters{};
+  rex_protocol();
+}
+
+void TrustedNode::ecall_input(NodeId src, BytesView blob) {
+  REX_REQUIRE(initialized_, "protocol message before ecall_init");
+  runtime_.record_ecall(blob.size());
+
+  // Algorithm 2 lines 6-11: identify the source; decrypt if a session
+  // exists, otherwise the message should have been an attestation one.
+  REX_REQUIRE(std::find(neighbors_.begin(), neighbors_.end(), src) !=
+                  neighbors_.end(),
+              "protocol message from non-neighbor");
+  Bytes plaintext;
+  if (runtime_.secure()) {
+    REX_REQUIRE(attested_with(src),
+                "protocol message from unattested peer");  // fail closed
+    auto& sess = session(src);
+    runtime_.record_crypto(blob.size());
+    const crypto::ChaChaNonce nonce = sess.next_recv_nonce();
+    std::array<std::uint8_t, 8> aad{};
+    store_le32(aad.data(), src);
+    store_le32(aad.data() + 4, id_);
+    const std::optional<Bytes> opened =
+        crypto::aead_open(sess.session_key(), nonce, aad, blob);
+    REX_REQUIRE(opened.has_value(),
+                "authenticated decryption failed: tampered payload");
+    plaintext = *opened;
+  } else {
+    plaintext.assign(blob.begin(), blob.end());
+  }
+
+  ProtocolPayload payload = ProtocolPayload::decode(plaintext);
+  pending_bytes_deserialized_ += plaintext.size();
+  REX_REQUIRE(pending_.find(src) == pending_.end(),
+              "duplicate round message from the same neighbor");
+  pending_.emplace(src, std::move(payload));
+
+  // D-PSGD readiness (Algorithm 2 line 13): a message from every neighbor.
+  if (config_.algorithm == Algorithm::kDpsgd &&
+      pending_.size() == neighbors_.size()) {
+    rex_protocol();
+  }
+}
+
+void TrustedNode::ecall_tick() {
+  REX_REQUIRE(initialized_, "tick before ecall_init");
+  runtime_.record_ecall(0);
+  if (config_.algorithm == Algorithm::kRmw) {
+    // RMW trains on its period with whatever arrived (§III-C1).
+    rex_protocol();
+  } else {
+    // For D-PSGD the epoch already ran at the barrier; a tick with pending
+    // messages would indicate a scheduling bug.
+    REX_CHECK(pending_.empty(), "D-PSGD tick with undelivered messages");
+  }
+}
+
+void TrustedNode::rex_protocol() {
+  counters_ = EpochCounters{};
+  counters_.epoch = epoch_;
+  counters_.bytes_deserialized = pending_bytes_deserialized_;
+  pending_bytes_deserialized_ = 0;
+  merge_step();
+  train_step();
+  share_step();
+  test_step();
+  counters_.store_size = store_.size();
+  counters_.model_params = model_->parameter_count();
+  update_memory_accounting();
+  counters_.memory_bytes = memory_footprint();
+  ++epoch_;
+}
+
+void TrustedNode::merge_step() {
+  if (pending_.empty()) return;
+
+  if (config_.sharing == SharingMode::kRawData) {
+    // Algorithm 2 line 16: append all non-duplicate alien data items.
+    for (auto& [src, payload] : pending_) {
+      if (payload.kind == PayloadKind::kRawData ||
+          payload.kind == PayloadKind::kRawDataCompressed) {
+        append_raw_data(payload.ratings);
+      }
+    }
+  } else {
+    // Model sharing: deserialize alien models and merge (line 15). Alien
+    // models are materialized into a reusable scratch pool: deserialize
+    // overwrites every field, so recycling clones avoids re-running the
+    // (expensive) random initialization of a factory-fresh model per epoch.
+    if (config_.algorithm == Algorithm::kDpsgd) {
+      // Metropolis–Hastings weighted average over all received models
+      // (§III-C2); the self weight absorbs the remainder.
+      std::vector<ml::MergeSource> sources;
+      double neighbor_weight_total = 0.0;
+      std::size_t pool_index = 0;
+      for (auto& [src, payload] : pending_) {
+        if (payload.kind != PayloadKind::kModel) continue;
+        ml::RecModel& alien = alien_scratch(pool_index++);
+        alien.deserialize(payload.model_blob);
+        const double w = graph::metropolis_hastings_weight(
+            neighbors_.size(), payload.sender_degree);
+        sources.push_back(ml::MergeSource{&alien, w});
+        neighbor_weight_total += w;
+        counters_.merged_params += alien.parameter_count();
+        ++counters_.models_merged;
+      }
+      if (!sources.empty()) {
+        model_->merge(sources, 1.0 - neighbor_weight_total);
+      }
+    } else {
+      // RMW: pairwise averaging in arrival order ("upon receiving a model,
+      // a node averages it with its own", §III-C1).
+      for (auto& [src, payload] : pending_) {
+        if (payload.kind != PayloadKind::kModel) continue;
+        ml::RecModel& alien = alien_scratch(0);
+        alien.deserialize(payload.model_blob);
+        const ml::MergeSource source{&alien, 0.5};
+        model_->merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
+        counters_.merged_params += alien.parameter_count();
+        ++counters_.models_merged;
+      }
+    }
+  }
+  pending_.clear();
+}
+
+ml::RecModel& TrustedNode::alien_scratch(std::size_t index) {
+  while (alien_pool_.size() <= index) alien_pool_.push_back(model_->clone());
+  return *alien_pool_[index];
+}
+
+void TrustedNode::append_raw_data(const std::vector<data::Rating>& ratings) {
+  for (const data::Rating& r : ratings) {
+    if (store_index_.insert(pair_key(r)).second) {
+      store_.push_back(r);
+      ++counters_.ratings_appended;
+    } else {
+      ++counters_.duplicates_dropped;
+    }
+  }
+}
+
+void TrustedNode::train_step() {
+  if (config_.fixed_batches_per_epoch) {
+    // Fixed-batches rule (§III-E): work per epoch is a model constant, not
+    // a function of store size.
+    model_->train_epoch(store_, rng_);
+    counters_.sgd_samples +=
+        store_.empty() ? 0 : model_->train_samples_per_epoch();
+  } else {
+    // Ablation: one full shuffled pass over the (growing) store per epoch.
+    model_->train_full_pass(store_, rng_);
+    counters_.sgd_samples += store_.size();
+  }
+}
+
+void TrustedNode::share_step() {
+  if (neighbors_.empty()) return;
+  const ProtocolPayload payload = build_share_payload();
+  // Encode once; only the per-peer encryption differs between destinations.
+  const Bytes plaintext = payload.encode();
+
+  if (config_.algorithm == Algorithm::kRmw) {
+    // One uniformly random neighbor (§III-C1).
+    const NodeId dst =
+        neighbors_[rng_.uniform(neighbors_.size())];
+    send_encoded(dst, plaintext);
+  } else {
+    // All neighbors (§III-C2).
+    for (NodeId dst : neighbors_) send_encoded(dst, plaintext);
+  }
+}
+
+ProtocolPayload TrustedNode::build_share_payload() {
+  ProtocolPayload payload;
+  payload.epoch = epoch_;
+  payload.sender_degree = static_cast<std::uint32_t>(neighbors_.size());
+  if (config_.sharing == SharingMode::kRawData) {
+    if (store_.empty() || config_.data_points_per_epoch == 0) {
+      payload.kind = PayloadKind::kEmpty;
+      return payload;
+    }
+    // Stateless random sampling with replacement (§III-E): nodes may resend
+    // the same items; receivers dedupe.
+    payload.kind = config_.compress_raw_data
+                       ? PayloadKind::kRawDataCompressed
+                       : PayloadKind::kRawData;
+    payload.ratings.reserve(config_.data_points_per_epoch);
+    for (std::size_t i = 0; i < config_.data_points_per_epoch; ++i) {
+      payload.ratings.push_back(store_[rng_.uniform(store_.size())]);
+    }
+    counters_.ratings_shared += payload.ratings.size();
+  } else {
+    payload.kind = PayloadKind::kModel;
+    payload.model_blob = model_->serialize();
+  }
+  return payload;
+}
+
+void TrustedNode::send_encoded(NodeId dst, BytesView plaintext) {
+  counters_.bytes_serialized += plaintext.size();
+  Bytes wire;
+  if (runtime_.secure()) {
+    REX_REQUIRE(attested_with(dst), "sharing with unattested peer");
+    auto& sess = session(dst);
+    const crypto::ChaChaNonce nonce = sess.next_send_nonce();
+    std::array<std::uint8_t, 8> aad{};
+    store_le32(aad.data(), id_);
+    store_le32(aad.data() + 4, dst);
+    wire = crypto::aead_seal(sess.session_key(), nonce, aad, plaintext);
+    runtime_.record_crypto(wire.size());
+  } else {
+    wire.assign(plaintext.begin(), plaintext.end());
+  }
+  runtime_.record_ocall(wire.size());
+  ++counters_.messages_sent;
+  send_(dst, net::MessageKind::kProtocol, std::move(wire));
+}
+
+void TrustedNode::test_step() {
+  counters_.rmse = model_->rmse(test_data_);
+  counters_.test_predictions += test_data_.size();
+}
+
+std::size_t TrustedNode::memory_footprint() const {
+  if (!initialized_) return 0;
+  // Model + optimizer state, the raw-data store, its duplicate-filter index
+  // (~16 B per bucket entry in a typical unordered_set layout), the local
+  // test set, and the pending payload buffers.
+  std::size_t bytes = model_->memory_footprint();
+  // Merge scratch buffers (model sharing materializes alien models).
+  for (const auto& alien : alien_pool_) bytes += alien->memory_footprint();
+  bytes += store_.capacity() * sizeof(data::Rating);
+  bytes += store_index_.size() * 16;
+  bytes += test_data_.capacity() * sizeof(data::Rating);
+  for (const auto& [src, payload] : pending_) {
+    bytes += payload.model_blob.size() +
+             payload.ratings.capacity() * sizeof(data::Rating);
+  }
+  return bytes;
+}
+
+void TrustedNode::update_memory_accounting() {
+  runtime_.set_resident(memory_footprint());
+}
+
+}  // namespace rex::core

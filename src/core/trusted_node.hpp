@@ -1,0 +1,143 @@
+// Trusted (in-enclave) REX node: Algorithm 2 of the paper.
+//
+// Everything here conceptually runs inside the enclave: the raw-data store,
+// the model, attestation sessions and session keys. The class performs no
+// I/O — outbound messages leave through an injected ocall callback, exactly
+// the trusted/untrusted split of Algorithms 1 and 2. The same code serves
+// native runs (Runtime in kNative mode skips encryption and accounting),
+// mirroring the paper's single-codebase approach (§III-E).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/epoch_counters.hpp"
+#include "core/payload.hpp"
+#include "data/dataset.hpp"
+#include "enclave/attestation.hpp"
+#include "enclave/runtime.hpp"
+#include "ml/model.hpp"
+#include "net/message.hpp"
+
+namespace rex::core {
+
+using NodeId = net::NodeId;
+
+/// Arguments of ecall_init (Algorithm 2 line 2: "extract(args)").
+struct TrustedInit {
+  std::vector<data::Rating> local_train;
+  std::vector<data::Rating> local_test;
+  std::vector<NodeId> neighbors;
+};
+
+class TrustedNode {
+ public:
+  /// `send` is the ocall_send proxy (Algorithm 1 lines 7-8): it receives the
+  /// destination and the (possibly encrypted) blob.
+  using SendFn =
+      std::function<void(NodeId dst, net::MessageKind kind, Bytes blob)>;
+
+  TrustedNode(const RexConfig& config, NodeId id,
+              enclave::Runtime& runtime,
+              const enclave::EnclaveIdentity& identity,
+              const enclave::QuotingEnclave* quoting_enclave,
+              const enclave::DcapVerifier* verifier,
+              ml::ModelFactory model_factory, std::uint64_t seed,
+              SendFn send);
+
+  // ===== Attestation phase (§III-A) =====
+
+  /// Registers the neighbor set and opens attestation sessions. Initiates
+  /// towards higher-id neighbors (each pair handshakes once).
+  void start_attestation(const std::vector<NodeId>& neighbors);
+
+  /// Handles one attestation message (cleartext JSON).
+  void on_attestation_message(NodeId src, BytesView blob);
+
+  [[nodiscard]] bool attested_with(NodeId peer) const;
+  [[nodiscard]] bool fully_attested() const;
+
+  // ===== Protocol phase (Algorithm 2) =====
+
+  /// ecall_init: copies the local dataset into protected memory, initializes
+  /// the model and runs epoch 0 (train on initial data, share, test).
+  void ecall_init(TrustedInit init);
+
+  /// ecall_input: protocol message from `src`. Decrypts (SGX mode), buffers,
+  /// and — for D-PSGD — runs the epoch once all neighbors delivered.
+  void ecall_input(NodeId src, BytesView blob);
+
+  /// Timer event: RMW trains every period regardless of arrivals (§III-C1).
+  /// For D-PSGD this is a barrier assertion only.
+  void ecall_tick();
+
+  // ===== Introspection (read by the simulator / tests) =====
+
+  [[nodiscard]] const EpochCounters& last_epoch() const { return counters_; }
+  [[nodiscard]] std::uint64_t epochs_completed() const { return epoch_; }
+  [[nodiscard]] double last_rmse() const { return counters_.rmse; }
+  [[nodiscard]] std::size_t store_size() const { return store_.size(); }
+  [[nodiscard]] const ml::RecModel& model() const { return *model_; }
+  [[nodiscard]] std::size_t memory_footprint() const;
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const {
+    return neighbors_;
+  }
+
+ private:
+  // The four protocol steps (Algorithm 2 lines 13-21).
+  void rex_protocol();
+  void merge_step();
+  void train_step();
+  void share_step();
+  void test_step();
+
+  void send_encoded(NodeId dst, BytesView plaintext);
+  [[nodiscard]] ProtocolPayload build_share_payload();
+  /// Reusable alien-model buffer for merge_step (grown on demand).
+  [[nodiscard]] ml::RecModel& alien_scratch(std::size_t index);
+  void append_raw_data(const std::vector<data::Rating>& ratings);
+  [[nodiscard]] static std::uint64_t pair_key(const data::Rating& r) {
+    return (static_cast<std::uint64_t>(r.user) << 32) | r.item;
+  }
+  [[nodiscard]] enclave::AttestationSession& session(NodeId peer);
+  void update_memory_accounting();
+
+  RexConfig config_;
+  NodeId id_;
+  enclave::Runtime& runtime_;
+  enclave::EnclaveIdentity identity_;
+  const enclave::QuotingEnclave* quoting_enclave_;
+  const enclave::DcapVerifier* verifier_;
+  ml::ModelFactory model_factory_;
+  SendFn send_;
+
+  Rng rng_;             // training / sampling / neighbor choice
+  crypto::Drbg drbg_;   // attestation key material
+
+  std::vector<NodeId> neighbors_;
+  std::map<NodeId, enclave::AttestationSession> sessions_;
+
+  std::unique_ptr<ml::RecModel> model_;
+  std::vector<std::unique_ptr<ml::RecModel>> alien_pool_;  // merge scratch
+  std::vector<data::Rating> store_;       // raw-data store (protected memory)
+  std::unordered_set<std::uint64_t> store_index_;  // duplicate filter
+  std::vector<data::Rating> test_data_;
+
+  /// Pending inputs for the current round, keyed by source.
+  std::map<NodeId, ProtocolPayload> pending_;
+
+  std::uint64_t epoch_ = 0;
+  bool initialized_ = false;
+  EpochCounters counters_;
+  /// Deserialization bytes accrued by ecall_input between epochs; folded
+  /// into the next epoch's counters (the epoch that consumes the messages).
+  std::uint64_t pending_bytes_deserialized_ = 0;
+};
+
+}  // namespace rex::core

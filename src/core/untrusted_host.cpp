@@ -1,0 +1,51 @@
+#include "core/untrusted_host.hpp"
+
+#include "support/error.hpp"
+
+namespace rex::core {
+
+UntrustedHost::UntrustedHost(const RexConfig& config, NodeId id,
+                             const enclave::EnclaveIdentity& identity,
+                             const enclave::QuotingEnclave* quoting_enclave,
+                             const enclave::DcapVerifier* verifier,
+                             ml::ModelFactory model_factory,
+                             std::uint64_t seed, net::Transport& transport)
+    : id_(id), runtime_(config.security, config.epc), transport_(transport) {
+  // ocall_send (Algorithm 1 lines 7-8): wrap the enclave's output blob into
+  // an envelope and hand it to the network.
+  auto send = [this](NodeId dst, net::MessageKind kind, Bytes blob) {
+    net::Envelope env;
+    env.src = id_;
+    env.dst = dst;
+    env.kind = kind;
+    env.payload = std::move(blob);
+    transport_.send(std::move(env));
+  };
+  trusted_ = std::make_unique<TrustedNode>(
+      config, id, runtime_, identity, quoting_enclave, verifier,
+      std::move(model_factory), seed, std::move(send));
+}
+
+void UntrustedHost::initialize(TrustedInit init) {
+  trusted_->ecall_init(std::move(init));
+}
+
+void UntrustedHost::start_attestation(const std::vector<NodeId>& neighbors) {
+  trusted_->start_attestation(neighbors);
+}
+
+void UntrustedHost::on_receive(const net::Envelope& envelope) {
+  REX_REQUIRE(envelope.dst == id_, "envelope delivered to the wrong host");
+  switch (envelope.kind) {
+    case net::MessageKind::kAttestation:
+      trusted_->on_attestation_message(envelope.src, envelope.payload);
+      break;
+    case net::MessageKind::kProtocol:
+      trusted_->ecall_input(envelope.src, envelope.payload);
+      break;
+  }
+}
+
+void UntrustedHost::tick() { trusted_->ecall_tick(); }
+
+}  // namespace rex::core

@@ -1,0 +1,52 @@
+// Untrusted host: Algorithm 1 of the paper.
+//
+// Owns the enclave runtime and the trusted node, and proxies between the
+// network and the enclave: initialize -> read dataset / start network /
+// ecall_init; on_receive -> ecall_input; ocall_send -> transport. All I/O
+// stays on this side of the boundary (the paper's TCB discipline, §III-B).
+#pragma once
+
+#include <memory>
+
+#include "core/trusted_node.hpp"
+#include "net/transport.hpp"
+
+namespace rex::core {
+
+class UntrustedHost {
+ public:
+  UntrustedHost(const RexConfig& config, NodeId id,
+                const enclave::EnclaveIdentity& identity,
+                const enclave::QuotingEnclave* quoting_enclave,
+                const enclave::DcapVerifier* verifier,
+                ml::ModelFactory model_factory, std::uint64_t seed,
+                net::Transport& transport);
+
+  /// Algorithm 1, initialize: the dataset was "read" by the experiment
+  /// driver (shard), the network is the injected transport, and the enclave
+  /// is initialized with the local partition.
+  void initialize(TrustedInit init);
+
+  /// Opens attestation sessions towards `neighbors` (pre-protocol phase).
+  void start_attestation(const std::vector<NodeId>& neighbors);
+
+  /// Algorithm 1, on_receive: relays a network blob into the enclave.
+  void on_receive(const net::Envelope& envelope);
+
+  /// Periodic timer event driving RMW epochs.
+  void tick();
+
+  [[nodiscard]] TrustedNode& trusted() { return *trusted_; }
+  [[nodiscard]] const TrustedNode& trusted() const { return *trusted_; }
+  [[nodiscard]] enclave::Runtime& runtime() { return runtime_; }
+  [[nodiscard]] const enclave::Runtime& runtime() const { return runtime_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+
+ private:
+  NodeId id_;
+  enclave::Runtime runtime_;
+  net::Transport& transport_;
+  std::unique_ptr<TrustedNode> trusted_;
+};
+
+}  // namespace rex::core

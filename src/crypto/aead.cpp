@@ -1,0 +1,65 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace rex::crypto {
+
+namespace {
+
+PolyKey poly_key_for(const ChaChaKey& key, const ChaChaNonce& nonce) {
+  std::uint8_t block[64];
+  chacha20_block(key, 0, nonce, block);
+  PolyKey pk;
+  std::memcpy(pk.data(), block, pk.size());
+  return pk;
+}
+
+PolyTag compute_tag(const PolyKey& pk, BytesView aad, BytesView ciphertext) {
+  // mac_data = aad || pad16 || ct || pad16 || len(aad) || len(ct)
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  append(mac_data, aad);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  append(mac_data, ciphertext);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  std::uint8_t lengths[16];
+  store_le64(lengths, aad.size());
+  store_le64(lengths + 8, ciphertext.size());
+  append(mac_data, BytesView(lengths, 16));
+  return poly1305(pk, mac_data);
+}
+
+}  // namespace
+
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, BytesView aad,
+                BytesView plaintext) {
+  Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  const PolyTag tag = compute_tag(poly_key_for(key, nonce), aad, out);
+  append(out, BytesView(tag.data(), tag.size()));
+  return out;
+}
+
+std::optional<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               BytesView aad, BytesView sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const BytesView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const BytesView tag = sealed.last(kAeadTagSize);
+  const PolyTag expected =
+      compute_tag(poly_key_for(key, nonce), aad, ciphertext);
+  if (!constant_time_equal(BytesView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+ChaChaNonce nonce_from_sequence(std::uint64_t sequence,
+                                std::uint32_t direction) {
+  ChaChaNonce nonce{};
+  store_le32(nonce.data(), direction);
+  store_le64(nonce.data() + 4, sequence);
+  return nonce;
+}
+
+}  // namespace rex::crypto

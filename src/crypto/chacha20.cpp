@@ -1,0 +1,69 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace rex::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const ChaChaKey& key, std::uint32_t counter,
+                    const ChaChaNonce& nonce, std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof working);
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + 4 * i, working[i] + state[i]);
+  }
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   std::uint32_t initial_counter, BytesView data) {
+  Bytes out(data.size());
+  std::uint8_t keystream[64];
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, counter++, nonce, keystream);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] = data[offset + i] ^ keystream[i];
+    }
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace rex::crypto

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 §2.3-2.4).
+//
+// The enclave substrate uses it (via the AEAD in aead.hpp) to encrypt
+// node-to-node payloads, and drbg.hpp uses the raw keystream as a
+// deterministic random generator for key material.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace rex::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+void chacha20_block(const ChaChaKey& key, std::uint32_t counter,
+                    const ChaChaNonce& nonce, std::uint8_t out[64]);
+
+/// XORs `data` with the ChaCha20 keystream starting at block `initial_counter`.
+/// Encryption and decryption are the same operation.
+[[nodiscard]] Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                 std::uint32_t initial_counter, BytesView data);
+
+}  // namespace rex::crypto

@@ -1,0 +1,74 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace rex::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  std::uint8_t block_key[64] = {};
+  if (key.size() > 64) {
+    const Sha256Digest kd = sha256(key);
+    std::memcpy(block_key, kd.data(), kd.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, 64));
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, 64));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  if (salt.empty()) {
+    const std::uint8_t zero_salt[kSha256DigestSize] = {};
+    return hmac_sha256(BytesView(zero_salt, sizeof zero_salt), ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(const Sha256Digest& prk, BytesView info,
+                  std::size_t length) {
+  REX_REQUIRE(length <= 255 * kSha256DigestSize, "HKDF output too long");
+  Bytes okm;
+  okm.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block_input = previous;
+    append(block_input, info);
+    block_input.push_back(counter++);
+    const Sha256Digest t =
+        hmac_sha256(BytesView(prk.data(), prk.size()), block_input);
+    previous.assign(t.begin(), t.end());
+    const std::size_t take = std::min(previous.size(), length - okm.size());
+    okm.insert(okm.end(), previous.begin(), previous.begin() + take);
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace rex::crypto

@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC signs simulated SGX quotes (the platform-key substitution documented
+// in DESIGN.md §1) and authenticates sealed blobs; HKDF derives the session
+// keys from the X25519 shared secret during REX attestation.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "support/bytes.hpp"
+
+namespace rex::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+[[nodiscard]] Sha256Digest hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+[[nodiscard]] Sha256Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes (length <= 255*32) bound to `info`.
+[[nodiscard]] Bytes hkdf_expand(const Sha256Digest& prk, BytesView info,
+                                std::size_t length);
+
+/// Extract-then-expand convenience.
+[[nodiscard]] Bytes hkdf(BytesView salt, BytesView ikm, BytesView info,
+                         std::size_t length);
+
+/// Constant-time equality; the comparison time depends only on the length.
+[[nodiscard]] bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace rex::crypto

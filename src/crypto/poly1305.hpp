@@ -1,0 +1,20 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace rex::crypto {
+
+inline constexpr std::size_t kPolyTagSize = 16;
+inline constexpr std::size_t kPolyKeySize = 32;
+
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+using PolyKey = std::array<std::uint8_t, kPolyKeySize>;
+
+/// Computes the Poly1305 tag of `data` under the one-time `key`.
+[[nodiscard]] PolyTag poly1305(const PolyKey& key, BytesView data);
+
+}  // namespace rex::crypto

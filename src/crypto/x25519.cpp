@@ -1,0 +1,254 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+namespace rex::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// Field element in GF(2^255 - 19), five 51-bit limbs.
+struct Fe {
+  u64 v[5];
+};
+
+constexpr u64 kMask51 = 0x7ffffffffffffULL;
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b, with 2p added first so limbs stay non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  static constexpr u64 two_p[5] = {0xfffffffffffdaULL, 0xffffffffffffeULL,
+                                   0xffffffffffffeULL, 0xffffffffffffeULL,
+                                   0xffffffffffffeULL};
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + two_p[i] - b.v[i];
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u128 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  // 19 * b_i for the wraparound terms.
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe r;
+  u64 carry;
+  r.v[0] = static_cast<u64>(t0) & kMask51;
+  carry = static_cast<u64>(t0 >> 51);
+  t1 += carry;
+  r.v[1] = static_cast<u64>(t1) & kMask51;
+  carry = static_cast<u64>(t1 >> 51);
+  t2 += carry;
+  r.v[2] = static_cast<u64>(t2) & kMask51;
+  carry = static_cast<u64>(t2 >> 51);
+  t3 += carry;
+  r.v[3] = static_cast<u64>(t3) & kMask51;
+  carry = static_cast<u64>(t3 >> 51);
+  t4 += carry;
+  r.v[4] = static_cast<u64>(t4) & kMask51;
+  carry = static_cast<u64>(t4 >> 51);
+  r.v[0] += carry * 19;
+  carry = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += carry;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+// a * 121666 (the (A-2)/4 ladder constant).
+Fe fe_mul121666(const Fe& a) {
+  Fe r;
+  u128 t;
+  u64 carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    t = static_cast<u128>(a.v[i]) * 121666 + carry;
+    r.v[i] = static_cast<u64>(t) & kMask51;
+    carry = static_cast<u64>(t >> 51);
+  }
+  r.v[0] += carry * 19;
+  return r;
+}
+
+Fe fe_from_bytes(const std::uint8_t s[32]) {
+  Fe r;
+  r.v[0] = load_le64(s) & kMask51;
+  r.v[1] = (load_le64(s + 6) >> 3) & kMask51;
+  r.v[2] = (load_le64(s + 12) >> 6) & kMask51;
+  r.v[3] = (load_le64(s + 19) >> 1) & kMask51;
+  r.v[4] = (load_le64(s + 24) >> 12) & kMask51;
+  return r;
+}
+
+void fe_to_bytes(std::uint8_t out[32], const Fe& a) {
+  // Carry-reduce, then subtract p twice to fully freeze.
+  Fe t = a;
+  for (int pass = 0; pass < 2; ++pass) {
+    u64 carry;
+    for (int i = 0; i < 4; ++i) {
+      carry = t.v[i] >> 51;
+      t.v[i] &= kMask51;
+      t.v[i + 1] += carry;
+    }
+    carry = t.v[4] >> 51;
+    t.v[4] &= kMask51;
+    t.v[0] += carry * 19;
+  }
+  // Now t < 2p; conditionally subtract p.
+  t.v[0] += 19;
+  u64 carry;
+  for (int i = 0; i < 4; ++i) {
+    carry = t.v[i] >> 51;
+    t.v[i] &= kMask51;
+    t.v[i + 1] += carry;
+  }
+  carry = t.v[4] >> 51;
+  t.v[4] &= kMask51;
+  t.v[0] += carry * 19;
+  // t in [19, p+19]; subtract 19 -> canonical iff we add 2^255 and take mod.
+  t.v[0] += (kMask51 - 18);
+  for (int i = 1; i < 5; ++i) t.v[i] += kMask51;
+  for (int i = 0; i < 4; ++i) {
+    carry = t.v[i] >> 51;
+    t.v[i] &= kMask51;
+    t.v[i + 1] += carry;
+  }
+  t.v[4] &= kMask51;
+
+  store_le64(out, t.v[0] | (t.v[1] << 51));
+  store_le64(out + 8, (t.v[1] >> 13) | (t.v[2] << 38));
+  store_le64(out + 16, (t.v[2] >> 26) | (t.v[3] << 25));
+  store_le64(out + 24, (t.v[3] >> 39) | (t.v[4] << 12));
+}
+
+// Constant-time conditional swap: swaps a and b when bit == 1.
+void fe_cswap(u64 bit, Fe& a, Fe& b) {
+  const u64 mask = 0 - bit;
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+// a^(p-2) = a^-1 by Fermat; fixed square-and-multiply chain.
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                       // 2
+  Fe t = fe_sq(z2);                       // 4
+  t = fe_sq(t);                           // 8
+  Fe z9 = fe_mul(t, z);                   // 9
+  Fe z11 = fe_mul(z9, z2);                // 11
+  t = fe_sq(z11);                         // 22
+  Fe z2_5_0 = fe_mul(t, z9);              // 31 = 2^5 - 1
+  t = fe_sq(z2_5_0);
+  for (int i = 0; i < 4; ++i) t = fe_sq(t);
+  Fe z2_10_0 = fe_mul(t, z2_5_0);         // 2^10 - 1
+  t = fe_sq(z2_10_0);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  Fe z2_20_0 = fe_mul(t, z2_10_0);        // 2^20 - 1
+  t = fe_sq(z2_20_0);
+  for (int i = 0; i < 19; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_20_0);                 // 2^40 - 1
+  t = fe_sq(t);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  Fe z2_50_0 = fe_mul(t, z2_10_0);        // 2^50 - 1
+  t = fe_sq(z2_50_0);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  Fe z2_100_0 = fe_mul(t, z2_50_0);       // 2^100 - 1
+  t = fe_sq(z2_100_0);
+  for (int i = 0; i < 99; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_100_0);                // 2^200 - 1
+  t = fe_sq(t);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_50_0);                 // 2^250 - 1
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);
+  t = fe_sq(t);                           // 2^255 - 32
+  return fe_mul(t, z11);                  // 2^255 - 21 = p - 2
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  std::uint8_t u[32];
+  std::memcpy(u, point.data(), 32);
+  u[31] &= 127;  // mask the unused top bit per RFC 7748
+
+  const Fe x1 = fe_from_bytes(u);
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  u64 swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const u64 k_t = (e[t >> 3] >> (t & 7)) & 1;
+    swap ^= k_t;
+    fe_cswap(swap, x2, x3);
+    fe_cswap(swap, z2, z3);
+    swap = k_t;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e_ = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e_, fe_add(bb, fe_mul121666(e_)));
+  }
+  fe_cswap(swap, x2, x3);
+  fe_cswap(swap, z2, z3);
+
+  const Fe result = fe_mul(x2, fe_invert(z2));
+  X25519Key out;
+  fe_to_bytes(out.data(), result);
+  return out;
+}
+
+X25519Key x25519_public_key(const X25519Key& private_key) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(private_key, base);
+}
+
+bool x25519_shared_secret(const X25519Key& private_key,
+                          const X25519Key& peer_public, X25519Key& out) {
+  out = x25519(private_key, peer_public);
+  std::uint8_t acc = 0;
+  for (std::uint8_t byte : out) acc |= byte;
+  if (acc == 0) {
+    out.fill(0);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rex::crypto

@@ -1,0 +1,210 @@
+#include "enclave/attestation.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "support/error.hpp"
+
+namespace rex::enclave {
+
+namespace {
+
+constexpr std::uint32_t kDirectionLowerToHigher = 0;
+constexpr std::uint32_t kDirectionHigherToLower = 1;
+
+std::string hex_of(BytesView b) { return hex_encode(b); }
+
+}  // namespace
+
+std::array<std::uint8_t, 32> quote_user_data(
+    const crypto::X25519Key& public_key, BytesView nonce) {
+  Bytes material(public_key.begin(), public_key.end());
+  append(material, nonce);
+  return crypto::sha256(material);
+}
+
+AttestationSession::AttestationSession(NodeId self, NodeId peer,
+                                       const EnclaveIdentity& identity,
+                                       const QuotingEnclave* quoting_enclave,
+                                       const DcapVerifier* verifier,
+                                       crypto::Drbg* drbg)
+    : self_(self),
+      peer_(peer),
+      identity_(identity),
+      quoting_enclave_(quoting_enclave),
+      verifier_(verifier),
+      drbg_(drbg) {
+  REX_REQUIRE(self != peer, "attestation session with self");
+  REX_REQUIRE(quoting_enclave_ && verifier_ && drbg_,
+              "attestation session needs platform services");
+  private_key_ = drbg_->next_x25519_private();
+  public_key_ = crypto::x25519_public_key(private_key_);
+}
+
+serialize::Json AttestationSession::track(serialize::Json message) {
+  bytes_sent_ += message.dump().size();
+  return message;
+}
+
+serialize::Json AttestationSession::initiate() {
+  REX_REQUIRE(state_ == AttestationState::kIdle,
+              "attestation already in progress");
+  drbg_->generate(my_nonce_.data(), my_nonce_.size());
+  state_ = AttestationState::kChallengeSent;
+
+  serialize::Json msg = serialize::Json::object();
+  msg["type"] = "att_challenge";
+  msg["from"] = static_cast<std::int64_t>(self_);
+  msg["nonce"] = hex_of(BytesView(my_nonce_.data(), my_nonce_.size()));
+  msg["pubkey"] = hex_of(BytesView(public_key_.data(), public_key_.size()));
+  return track(std::move(msg));
+}
+
+serialize::Json AttestationSession::make_quote_message() {
+  Report report;
+  report.measurement = identity_.measurement;
+  report.user_data = quote_user_data(
+      public_key_, BytesView(peer_nonce_.data(), peer_nonce_.size()));
+  const Quote quote = quoting_enclave_->quote(report);
+
+  serialize::Json msg = serialize::Json::object();
+  msg["type"] = "att_quote";
+  msg["from"] = static_cast<std::int64_t>(self_);
+  msg["pubkey"] = hex_of(BytesView(public_key_.data(), public_key_.size()));
+  msg["quote"] = hex_of(quote.serialize());
+  // Responder includes its own challenge so the initiator can quote back.
+  msg["nonce"] = hex_of(BytesView(my_nonce_.data(), my_nonce_.size()));
+  return track(std::move(msg));
+}
+
+bool AttestationSession::verify_peer_quote(const serialize::Json& message) {
+  const Bytes quote_bytes = hex_decode(message.at("quote").as_string());
+  const Bytes pub_bytes = hex_decode(message.at("pubkey").as_string());
+  if (pub_bytes.size() != peer_public_.size()) return false;
+  std::copy(pub_bytes.begin(), pub_bytes.end(), peer_public_.begin());
+
+  Quote quote;
+  try {
+    quote = Quote::deserialize(quote_bytes);
+  } catch (const Error&) {
+    return false;  // malformed quote: treat as attestation failure
+  }
+  // (1) Genuine platform signature via the DCAP service.
+  if (!verifier_->verify(quote)) return false;
+  // (2) Identical code: the peer's measurement must equal our own (§III-A).
+  if (!crypto::constant_time_equal(
+          BytesView(quote.report.measurement.data(),
+                    quote.report.measurement.size()),
+          BytesView(identity_.measurement.data(),
+                    identity_.measurement.size()))) {
+    return false;
+  }
+  // (3) Key binding: user_data commits to the pubkey and OUR nonce
+  // (freshness: the quote answers our challenge, no replay).
+  const auto expected = quote_user_data(
+      peer_public_, BytesView(my_nonce_.data(), my_nonce_.size()));
+  return crypto::constant_time_equal(
+      BytesView(expected.data(), expected.size()),
+      BytesView(quote.report.user_data.data(),
+                quote.report.user_data.size()));
+}
+
+void AttestationSession::derive_session_key() {
+  crypto::X25519Key shared{};
+  if (!crypto::x25519_shared_secret(private_key_, peer_public_, shared)) {
+    state_ = AttestationState::kFailed;
+    return;
+  }
+  // Symmetric derivation: both sides bind the (ordered) pair of node ids.
+  Bytes info = to_bytes("rex-session-v1");
+  const NodeId lo = std::min(self_, peer_), hi = std::max(self_, peer_);
+  info.push_back(static_cast<std::uint8_t>(lo >> 8));
+  info.push_back(static_cast<std::uint8_t>(lo));
+  info.push_back(static_cast<std::uint8_t>(hi >> 8));
+  info.push_back(static_cast<std::uint8_t>(hi));
+  const Bytes okm = crypto::hkdf(to_bytes("rex-attest"),
+                                 BytesView(shared.data(), shared.size()),
+                                 info, session_key_.size());
+  std::memcpy(session_key_.data(), okm.data(), session_key_.size());
+}
+
+std::optional<serialize::Json> AttestationSession::handle(
+    const serialize::Json& message) {
+  const std::string& type = message.at("type").as_string();
+  const NodeId from = static_cast<NodeId>(message.at("from").as_int());
+  REX_REQUIRE(from == peer_, "attestation message from unexpected node");
+
+  if (type == "att_challenge") {
+    if (state_ == AttestationState::kChallengeSent && self_ < peer_) {
+      // Simultaneous initiation: lower id stays initiator; ignore the
+      // peer's challenge (it will answer ours).
+      return std::nullopt;
+    }
+    // Act as responder (possibly abandoning our own initiation).
+    const Bytes nonce = hex_decode(message.at("nonce").as_string());
+    REX_REQUIRE(nonce.size() == peer_nonce_.size(),
+                "attestation nonce size mismatch");
+    std::copy(nonce.begin(), nonce.end(), peer_nonce_.begin());
+    have_peer_nonce_ = true;
+    // Fresh challenge for the quote we expect back.
+    drbg_->generate(my_nonce_.data(), my_nonce_.size());
+    state_ = AttestationState::kQuoteSent;
+    return make_quote_message();
+  }
+
+  if (type == "att_quote") {
+    if (state_ == AttestationState::kChallengeSent) {
+      // Initiator receiving the responder's quote.
+      if (!verify_peer_quote(message)) {
+        state_ = AttestationState::kFailed;
+        return std::nullopt;
+      }
+      // Answer the responder's challenge with our own quote.
+      const Bytes nonce = hex_decode(message.at("nonce").as_string());
+      REX_REQUIRE(nonce.size() == peer_nonce_.size(),
+                  "attestation nonce size mismatch");
+      std::copy(nonce.begin(), nonce.end(), peer_nonce_.begin());
+      have_peer_nonce_ = true;
+      derive_session_key();
+      if (state_ == AttestationState::kFailed) return std::nullopt;
+      state_ = AttestationState::kAttested;
+      return make_quote_message();
+    }
+    if (state_ == AttestationState::kQuoteSent) {
+      // Responder receiving the initiator's quote: final verification.
+      if (!verify_peer_quote(message)) {
+        state_ = AttestationState::kFailed;
+        return std::nullopt;
+      }
+      derive_session_key();
+      if (state_ == AttestationState::kFailed) return std::nullopt;
+      state_ = AttestationState::kAttested;
+      return std::nullopt;
+    }
+    // Unexpected quote (replay or confusion): fail closed.
+    state_ = AttestationState::kFailed;
+    return std::nullopt;
+  }
+
+  REX_REQUIRE(false, "unknown attestation message type: " + type);
+  return std::nullopt;  // unreachable
+}
+
+const crypto::ChaChaKey& AttestationSession::session_key() const {
+  REX_REQUIRE(attested(), "session key requested before attestation");
+  return session_key_;
+}
+
+crypto::ChaChaNonce AttestationSession::next_send_nonce() {
+  const std::uint32_t direction =
+      self_ < peer_ ? kDirectionLowerToHigher : kDirectionHigherToLower;
+  return crypto::nonce_from_sequence(send_sequence_++, direction);
+}
+
+crypto::ChaChaNonce AttestationSession::next_recv_nonce() {
+  const std::uint32_t direction =
+      peer_ < self_ ? kDirectionLowerToHigher : kDirectionHigherToLower;
+  return crypto::nonce_from_sequence(recv_sequence_++, direction);
+}
+
+}  // namespace rex::enclave

@@ -1,0 +1,10 @@
+// EpcModel is header-only; this translation unit pins the vtable-free class
+// into the library and hosts its (compile-time) sanity checks.
+#include "enclave/epc.hpp"
+
+namespace rex::enclave {
+
+static_assert(EpcConfig{}.total_bytes == 128ull << 20,
+              "paper hardware: 128 MiB EPC");
+
+}  // namespace rex::enclave

@@ -1,0 +1,79 @@
+#include "enclave/platform.hpp"
+
+#include <cstring>
+
+#include "serialize/binary.hpp"
+#include "support/error.hpp"
+
+namespace rex::enclave {
+
+Measurement measure_enclave_image(std::string_view image) {
+  return crypto::sha256(to_bytes(image));
+}
+
+Bytes Report::serialize() const {
+  serialize::BinaryWriter w;
+  w.raw(BytesView(measurement.data(), measurement.size()));
+  w.raw(BytesView(user_data.data(), user_data.size()));
+  return w.take();
+}
+
+Report Report::deserialize(BytesView payload) {
+  serialize::BinaryReader r(payload);
+  Report report;
+  const BytesView m = r.raw(report.measurement.size());
+  std::copy(m.begin(), m.end(), report.measurement.begin());
+  const BytesView u = r.raw(report.user_data.size());
+  std::copy(u.begin(), u.end(), report.user_data.begin());
+  r.expect_end();
+  return report;
+}
+
+Bytes Quote::serialize() const {
+  serialize::BinaryWriter w;
+  w.bytes(report.serialize());
+  w.u32(platform);
+  w.raw(BytesView(signature.data(), signature.size()));
+  return w.take();
+}
+
+Quote Quote::deserialize(BytesView payload) {
+  serialize::BinaryReader r(payload);
+  Quote quote;
+  quote.report = Report::deserialize(r.bytes());
+  quote.platform = r.u32();
+  const BytesView s = r.raw(quote.signature.size());
+  std::copy(s.begin(), s.end(), quote.signature.begin());
+  r.expect_end();
+  return quote;
+}
+
+QuotingEnclave::QuotingEnclave(PlatformId id, crypto::Drbg& key_source)
+    : platform_(id), platform_key_(key_source.next_key()) {}
+
+Quote QuotingEnclave::quote(const Report& report) const {
+  Quote q;
+  q.report = report;
+  q.platform = platform_;
+  q.signature = crypto::hmac_sha256(
+      BytesView(platform_key_.data(), platform_key_.size()),
+      report.serialize());
+  return q;
+}
+
+void DcapVerifier::register_platform(const QuotingEnclave& qe) {
+  keys_[qe.platform_] = qe.platform_key_;
+}
+
+bool DcapVerifier::verify(const Quote& quote) const {
+  const auto it = keys_.find(quote.platform);
+  if (it == keys_.end()) return false;  // unknown platform: not genuine
+  const crypto::Sha256Digest expected = crypto::hmac_sha256(
+      BytesView(it->second.data(), it->second.size()),
+      quote.report.serialize());
+  return crypto::constant_time_equal(
+      BytesView(expected.data(), expected.size()),
+      BytesView(quote.signature.data(), quote.signature.size()));
+}
+
+}  // namespace rex::enclave

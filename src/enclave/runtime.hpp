@@ -1,0 +1,71 @@
+// Enclave runtime: the trusted/untrusted boundary with cost accounting.
+//
+// REX compiles the same protocol code for native and SGX runs (paper
+// §III-E); here the difference is the Runtime handed to a node. The SGX
+// runtime counts every ecall/ocall transition and tracks resident enclave
+// memory (for the EPC model); the native runtime is free. The simulation's
+// CostModel converts these counters into the simulated-time overheads of
+// Figs 6/7 and Table IV.
+#pragma once
+
+#include <cstdint>
+
+#include "enclave/epc.hpp"
+
+namespace rex::enclave {
+
+enum class SecurityMode {
+  kNative,        // no SGX: plaintext payloads, no transition costs
+  kSgxSimulated,  // enclave semantics: encrypted payloads, counted costs
+};
+
+/// Transition and memory counters for one enclave.
+struct RuntimeStats {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+  std::uint64_t ecall_bytes = 0;      // data copied into the enclave
+  std::uint64_t ocall_bytes = 0;      // data copied out of the enclave
+  std::uint64_t sealed_bytes = 0;     // AEAD-processed payload bytes
+  std::size_t resident_bytes = 0;     // current enclave heap residency
+  std::size_t peak_resident_bytes = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(SecurityMode mode, const EpcConfig& epc = {})
+      : mode_(mode), epc_(epc) {}
+
+  [[nodiscard]] SecurityMode mode() const { return mode_; }
+  [[nodiscard]] bool secure() const {
+    return mode_ == SecurityMode::kSgxSimulated;
+  }
+
+  /// Boundary crossings (no-ops for accounting purposes in native mode —
+  /// a native build has plain function calls here).
+  void record_ecall(std::size_t argument_bytes);
+  void record_ocall(std::size_t argument_bytes);
+
+  /// Payload bytes passed through the channel AEAD.
+  void record_crypto(std::size_t bytes);
+
+  /// Enclave heap accounting (allocations inside the trusted partition).
+  void track_allocation(std::size_t bytes);
+  void track_release(std::size_t bytes);
+  void set_resident(std::size_t bytes);
+
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const EpcModel& epc() const { return epc_; }
+
+  /// Current paging slowdown for memory-bound work (1.0 in native mode).
+  [[nodiscard]] double memory_slowdown() const;
+
+  /// Resets the per-epoch counters (resident memory is preserved).
+  void reset_epoch_counters();
+
+ private:
+  SecurityMode mode_;
+  EpcModel epc_;
+  RuntimeStats stats_;
+};
+
+}  // namespace rex::enclave

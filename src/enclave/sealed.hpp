@@ -1,0 +1,34 @@
+// Sealed storage: encrypt enclave secrets for persistence outside the
+// enclave (SGX sealing). The sealing key is derived from the platform
+// identity and the enclave measurement, so only the same enclave code on the
+// same platform can unseal — the MRENCLAVE sealing policy.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aead.hpp"
+#include "enclave/platform.hpp"
+#include "support/bytes.hpp"
+
+namespace rex::enclave {
+
+class SealingKey {
+ public:
+  /// Derives the sealing key for (platform secret, measurement).
+  SealingKey(const crypto::ChaChaKey& platform_secret,
+             const Measurement& measurement);
+
+  /// Seals `plaintext` with a fresh nonce drawn from `nonce_counter`
+  /// (callers keep a monotonic counter). Output: nonce || ciphertext || tag.
+  [[nodiscard]] Bytes seal(BytesView plaintext,
+                           std::uint64_t nonce_counter) const;
+
+  /// Unseals; nullopt when the blob was tampered with or sealed by a
+  /// different enclave/platform.
+  [[nodiscard]] std::optional<Bytes> unseal(BytesView sealed) const;
+
+ private:
+  crypto::ChaChaKey key_{};
+};
+
+}  // namespace rex::enclave

@@ -1,0 +1,140 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace rex::graph {
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  REX_REQUIRE(a < node_count() && b < node_count(), "edge endpoint out of range");
+  if (a == b) return false;
+  auto& na = adjacency_[a];
+  const auto it = std::lower_bound(na.begin(), na.end(), b);
+  if (it != na.end() && *it == b) return false;
+  na.insert(it, b);
+  auto& nb = adjacency_[b];
+  nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  REX_REQUIRE(a < node_count() && b < node_count(), "edge endpoint out of range");
+  const auto& na = adjacency_[a];
+  return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  REX_REQUIRE(v < node_count(), "node id out of range");
+  return adjacency_[v];
+}
+
+double Graph::average_degree() const {
+  if (node_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(node_count());
+}
+
+std::vector<std::size_t> Graph::bfs_distances(NodeId source) const {
+  std::vector<std::size_t> dist(node_count(), SIZE_MAX);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : adjacency_[v]) {
+      if (dist[w] == SIZE_MAX) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  if (node_count() <= 1) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == SIZE_MAX; });
+}
+
+std::vector<std::vector<NodeId>> Graph::connected_components() const {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<bool> visited(node_count(), false);
+  for (NodeId start = 0; start < node_count(); ++start) {
+    if (visited[start]) continue;
+    std::vector<NodeId> component;
+    std::queue<NodeId> frontier;
+    visited[start] = true;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      component.push_back(v);
+      for (NodeId w : adjacency_[v]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          frontier.push(w);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::size_t Graph::diameter() const {
+  if (node_count() <= 1) return 0;
+  REX_REQUIRE(is_connected(), "diameter requires a connected graph");
+  std::size_t longest = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const auto dist = bfs_distances(v);
+    for (std::size_t d : dist) longest = std::max(longest, d);
+  }
+  return longest;
+}
+
+double Graph::average_clustering_coefficient() const {
+  if (node_count() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const auto& nv = adjacency_[v];
+    const std::size_t deg = nv.size();
+    if (deg < 2) continue;  // coefficient 0 by convention
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < deg; ++i) {
+      for (std::size_t j = i + 1; j < deg; ++j) {
+        if (has_edge(nv[i], nv[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  return total / static_cast<double>(node_count());
+}
+
+double metropolis_hastings_weight(std::size_t degree_i, std::size_t degree_j) {
+  return 1.0 / (1.0 + static_cast<double>(std::max(degree_i, degree_j)));
+}
+
+std::vector<double> metropolis_hastings_row(const Graph& g, NodeId v) {
+  const auto& nbrs = g.neighbors(v);
+  std::vector<double> row;
+  row.reserve(nbrs.size() + 1);
+  double neighbor_total = 0.0;
+  for (NodeId w : nbrs) {
+    neighbor_total += metropolis_hastings_weight(g.degree(v), g.degree(w));
+  }
+  row.push_back(1.0 - neighbor_total);  // self weight first
+  for (NodeId w : nbrs) {
+    row.push_back(metropolis_hastings_weight(g.degree(v), g.degree(w)));
+  }
+  return row;
+}
+
+}  // namespace rex::graph

@@ -1,0 +1,73 @@
+// Undirected simple graph over node ids [0, n).
+//
+// This is the communication topology of the decentralized system: neighbors
+// are gossip targets, degrees feed the Metropolis–Hastings merge weights
+// (paper §III-C2), and the metrics (diameter, clustering coefficient) are the
+// quantities §IV-A2 uses to characterize Small World vs Erdős–Rényi.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rex::graph {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the undirected edge {a, b}. Self-loops and duplicates are ignored
+  /// (returns false).
+  bool add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// Sorted neighbor list of `v`.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return neighbors(v).size();
+  }
+
+  [[nodiscard]] double average_degree() const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Connected components as lists of node ids (each sorted; components
+  /// ordered by smallest member).
+  [[nodiscard]] std::vector<std::vector<NodeId>> connected_components() const;
+
+  /// Longest shortest path (hops). Returns 0 for n<=1; requires a connected
+  /// graph (throws otherwise). O(n * (n + m)): fine for experiment-scale
+  /// graphs (<= a few thousand nodes).
+  [[nodiscard]] std::size_t diameter() const;
+
+  /// Watts–Strogatz average local clustering coefficient.
+  [[nodiscard]] double average_clustering_coefficient() const;
+
+ private:
+  /// BFS hop distances from `source` (SIZE_MAX for unreachable).
+  [[nodiscard]] std::vector<std::size_t> bfs_distances(NodeId source) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Metropolis–Hastings weight for the edge (i, j): 1 / (1 + max(deg_i, deg_j)).
+/// Guarantees a doubly-stochastic mixing matrix when each node also applies
+/// self-weight 1 - Σ_j w_ij (Xiao–Boyd–Kim, used by D-PSGD merging §III-C2).
+[[nodiscard]] double metropolis_hastings_weight(std::size_t degree_i,
+                                                std::size_t degree_j);
+
+/// All MH weights of node `v` towards its neighbors, plus the self weight,
+/// in neighbor order. front element = self weight.
+[[nodiscard]] std::vector<double> metropolis_hastings_row(const Graph& g,
+                                                          NodeId v);
+
+}  // namespace rex::graph

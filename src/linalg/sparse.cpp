@@ -1,0 +1,76 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rex::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::span<const std::uint32_t> row_idx,
+                     std::span<const std::uint32_t> col_idx,
+                     std::span<const float> values)
+    : rows_(rows), cols_(cols) {
+  REX_REQUIRE(row_idx.size() == col_idx.size() &&
+                  col_idx.size() == values.size(),
+              "CsrMatrix: triplet arrays must have equal length");
+
+  struct Triplet {
+    std::uint32_t row, col;
+    float value;
+    std::size_t order;  // original position; later wins for duplicates
+  };
+  std::vector<Triplet> triplets(row_idx.size());
+  for (std::size_t i = 0; i < row_idx.size(); ++i) {
+    REX_REQUIRE(row_idx[i] < rows && col_idx[i] < cols,
+                "CsrMatrix: index out of bounds");
+    triplets[i] = Triplet{row_idx[i], col_idx[i], values[i], i};
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              if (a.col != b.col) return a.col < b.col;
+              return a.order < b.order;
+            });
+
+  row_offsets_.assign(rows_ + 1, 0);
+  entries_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    const Triplet& t = triplets[i];
+    if (!entries_.empty() && i > 0 && triplets[i - 1].row == t.row &&
+        triplets[i - 1].col == t.col) {
+      entries_.back().value = t.value;  // duplicate: last write wins
+      continue;
+    }
+    entries_.push_back(SparseEntry{t.col, t.value});
+    ++row_offsets_[t.row + 1];
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    row_offsets_[r + 1] += row_offsets_[r];
+  }
+}
+
+float CsrMatrix::at(std::size_t r, std::size_t c, float missing) const {
+  REX_REQUIRE(r < rows_ && c < cols_, "CsrMatrix::at out of bounds");
+  const auto entries = row(r);
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), c,
+      [](const SparseEntry& e, std::size_t col) { return e.col < col; });
+  if (it != entries.end() && it->col == c) return it->value;
+  return missing;
+}
+
+double CsrMatrix::mean_value() const {
+  if (entries_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const SparseEntry& e : entries_) acc += static_cast<double>(e.value);
+  return acc / static_cast<double>(entries_.size());
+}
+
+double CsrMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+}  // namespace rex::linalg

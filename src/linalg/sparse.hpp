@@ -1,0 +1,58 @@
+// Compressed sparse row matrix over float values.
+//
+// The user-item interaction matrix A of collaborative filtering (paper §II-A)
+// is extremely sparse; CsrMatrix gives O(nnz) storage with per-row iteration,
+// which is what centralized MF training and dataset statistics need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rex::linalg {
+
+/// One (column, value) entry of a CSR row.
+struct SparseEntry {
+  std::uint32_t col;
+  float value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from unordered (row, col, value) triplets. Duplicate (row, col)
+  /// pairs keep the last value.
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::span<const std::uint32_t> row_idx,
+            std::span<const std::uint32_t> col_idx,
+            std::span<const float> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+
+  /// Entries of row r, sorted by column.
+  [[nodiscard]] std::span<const SparseEntry> row(std::size_t r) const {
+    return std::span<const SparseEntry>(entries_.data() + row_offsets_[r],
+                                        row_offsets_[r + 1] - row_offsets_[r]);
+  }
+
+  /// Value at (r, c) or `missing` when the entry does not exist.
+  [[nodiscard]] float at(std::size_t r, std::size_t c,
+                         float missing = 0.0f) const;
+
+  /// Mean of all stored values (global rating mean).
+  [[nodiscard]] double mean_value() const;
+
+  /// Fraction of cells that are filled: nnz / (rows*cols).
+  [[nodiscard]] double density() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // rows_+1 entries
+  std::vector<SparseEntry> entries_;
+};
+
+}  // namespace rex::linalg

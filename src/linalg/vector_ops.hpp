@@ -1,0 +1,66 @@
+// BLAS-1 style kernels over contiguous float spans.
+//
+// These are the hot loops of MF/DNN training and of model merging; they are
+// written as simple indexed loops the compiler auto-vectorizes. float (not
+// double) matches the paper's model-size accounting.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "support/error.hpp"
+
+namespace rex::linalg {
+
+/// Σ a[i] * b[i]
+[[nodiscard]] inline float dot(std::span<const float> a,
+                               std::span<const float> b) {
+  REX_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// y += alpha * x
+inline void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  REX_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+inline void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+/// dst = w_dst * dst + w_src * src   (merge kernel)
+inline void weighted_sum_inplace(std::span<float> dst, float w_dst,
+                                 std::span<const float> src, float w_src) {
+  REX_REQUIRE(dst.size() == src.size(), "weighted_sum: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = w_dst * dst[i] + w_src * src[i];
+  }
+}
+
+/// sqrt(Σ x[i]^2)
+[[nodiscard]] inline float l2_norm(std::span<const float> x) {
+  double acc = 0.0;  // double accumulator: long sums of squares
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return static_cast<float>(std::sqrt(acc));
+}
+
+/// Σ |x[i] - y[i]|
+[[nodiscard]] inline float l1_distance(std::span<const float> x,
+                                       std::span<const float> y) {
+  REX_REQUIRE(x.size() == y.size(), "l1_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += std::fabs(static_cast<double>(x[i]) - static_cast<double>(y[i]));
+  }
+  return static_cast<float>(acc);
+}
+
+inline void fill(std::span<float> x, float value) {
+  for (float& v : x) v = value;
+}
+
+}  // namespace rex::linalg

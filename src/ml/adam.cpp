@@ -1,0 +1,56 @@
+#include "ml/adam.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace rex::ml {
+
+Adam::Adam(std::size_t parameter_count, const AdamParams& params)
+    : params_(params), m_(parameter_count, 0.0f), v_(parameter_count, 0.0f) {}
+
+void Adam::begin_step() {
+  ++t_;
+  bias_correction1_ =
+      1.0f - std::pow(params_.beta1, static_cast<float>(t_));
+  bias_correction2_ =
+      1.0f - std::pow(params_.beta2, static_cast<float>(t_));
+}
+
+void Adam::update(std::span<float> weights,
+                  std::span<const float> gradients) {
+  REX_REQUIRE(weights.size() == m_.size(),
+              "Adam dense update must cover the full parameter range");
+  update_range(weights, gradients, 0);
+}
+
+void Adam::update_rows(std::span<float> weights,
+                       std::span<const float> gradients, std::size_t offset) {
+  update_range(weights, gradients, offset);
+}
+
+void Adam::update_range(std::span<float> weights,
+                        std::span<const float> gradients,
+                        std::size_t offset) {
+  REX_REQUIRE(t_ > 0, "call begin_step() before updating");
+  REX_REQUIRE(weights.size() == gradients.size(),
+              "Adam: weight/gradient size mismatch");
+  REX_REQUIRE(offset + weights.size() <= m_.size(),
+              "Adam: update range out of bounds");
+  const float lr = params_.learning_rate;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    // Decoupled weight decay (AdamW form): decay applies directly to the
+    // weight, not through the moments.
+    const float g = gradients[i];
+    float& m = m_[offset + i];
+    float& v = v_[offset + i];
+    m = params_.beta1 * m + (1.0f - params_.beta1) * g;
+    v = params_.beta2 * v + (1.0f - params_.beta2) * g * g;
+    const float m_hat = m / bias_correction1_;
+    const float v_hat = v / bias_correction2_;
+    weights[i] -= lr * (m_hat / (std::sqrt(v_hat) + params_.epsilon) +
+                        params_.weight_decay * weights[i]);
+  }
+}
+
+}  // namespace rex::ml

@@ -1,0 +1,63 @@
+// Adam optimizer (Kingma & Ba, ICLR'15) with decoupled weight decay.
+//
+// The DNN recommender trains with Adam at lr=1e-4 and weight decay 1e-5
+// (paper §IV-A3b). Embedding tables use the sparse variant: only rows
+// touched by a batch update their moment estimates, all sharing the global
+// timestep (the common "sparse Adam" approximation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rex::ml {
+
+struct AdamParams {
+  float learning_rate = 1e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 1e-5f;
+};
+
+class Adam {
+ public:
+  /// Empty optimizer; usable only after assignment from a sized one.
+  Adam() = default;
+
+  Adam(std::size_t parameter_count, const AdamParams& params);
+
+  /// Advances the shared timestep; call once per optimizer step, before any
+  /// update()/update_rows() of that step.
+  void begin_step();
+
+  /// Dense update of `weights` (must cover the whole parameter range this
+  /// optimizer was sized for) from `gradients`.
+  void update(std::span<float> weights, std::span<const float> gradients);
+
+  /// Sparse update of a contiguous row at `offset` within the parameter
+  /// range (embedding rows).
+  void update_rows(std::span<float> weights, std::span<const float> gradients,
+                   std::size_t offset);
+
+  [[nodiscard]] std::size_t timestep() const { return t_; }
+  [[nodiscard]] std::size_t parameter_count() const { return m_.size(); }
+
+  /// Optimizer state bytes (enclave memory accounting).
+  [[nodiscard]] std::size_t memory_footprint() const {
+    return (m_.size() + v_.size()) * sizeof(float);
+  }
+
+ private:
+  void update_range(std::span<float> weights, std::span<const float> gradients,
+                    std::size_t offset);
+
+  AdamParams params_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+  float bias_correction1_ = 1.0f;
+  float bias_correction2_ = 1.0f;
+};
+
+}  // namespace rex::ml

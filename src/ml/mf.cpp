@@ -1,0 +1,212 @@
+#include "ml/mf.hpp"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.hpp"
+#include "serialize/binary.hpp"
+#include "support/error.hpp"
+
+namespace rex::ml {
+
+MfModel::MfModel(const MfConfig& config, Rng& init_rng)
+    : config_(config),
+      user_embeddings_(config.n_users, config.embedding_dim),
+      item_embeddings_(config.n_items, config.embedding_dim),
+      user_bias_(config.n_users, 0.0f),
+      item_bias_(config.n_items, 0.0f),
+      seen_user_(config.n_users, 0),
+      seen_item_(config.n_items, 0) {
+  REX_REQUIRE(config.n_users > 0 && config.n_items > 0,
+              "MF model dimensions must be positive");
+  REX_REQUIRE(config.embedding_dim > 0, "embedding dim must be positive");
+  user_embeddings_.randomize_normal(init_rng, config.init_stddev);
+  item_embeddings_.randomize_normal(init_rng, config.init_stddev);
+}
+
+std::unique_ptr<RecModel> MfModel::clone() const {
+  return std::make_unique<MfModel>(*this);
+}
+
+float MfModel::predict(data::UserId user, data::ItemId item) const {
+  REX_REQUIRE(user < config_.n_users && item < config_.n_items,
+              "prediction index out of range");
+  return config_.global_mean + user_bias_[user] + item_bias_[item] +
+         linalg::dot(user_embeddings_.row(user), item_embeddings_.row(item));
+}
+
+void MfModel::sgd_step(const data::Rating& rating) {
+  const auto u = rating.user;
+  const auto i = rating.item;
+  REX_REQUIRE(u < config_.n_users && i < config_.n_items,
+              "rating index out of range");
+  const float error = rating.value - predict(u, i);
+  const float lr = config_.learning_rate;
+  const float lambda = config_.regularization;
+
+  user_bias_[u] += lr * (error - lambda * user_bias_[u]);
+  item_bias_[i] += lr * (error - lambda * item_bias_[i]);
+
+  auto x = user_embeddings_.row(u);
+  auto y = item_embeddings_.row(i);
+  for (std::size_t l = 0; l < config_.embedding_dim; ++l) {
+    const float x_old = x[l];
+    x[l] += lr * (error * y[l] - lambda * x[l]);
+    y[l] += lr * (error * x_old - lambda * y[l]);
+  }
+  seen_user_[u] = 1;
+  seen_item_[i] = 1;
+}
+
+void MfModel::train_epoch(std::span<const data::Rating> store, Rng& rng) {
+  if (store.empty()) return;
+  // Fixed number of SGD steps regardless of store size (§III-E): samples are
+  // drawn uniformly with replacement so epoch cost never grows with the
+  // accumulating raw-data store.
+  for (std::size_t step = 0; step < config_.sgd_steps_per_epoch; ++step) {
+    sgd_step(store[rng.uniform(store.size())]);
+  }
+}
+
+void MfModel::train_full_pass(std::span<const data::Rating> dataset,
+                              Rng& rng) {
+  std::vector<std::size_t> order(dataset.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t idx : order) sgd_step(dataset[idx]);
+}
+
+void MfModel::merge(std::span<const MergeSource> sources, double self_weight) {
+  if (sources.empty()) return;
+  std::vector<const MfModel*> peers;
+  peers.reserve(sources.size());
+  for (const MergeSource& s : sources) {
+    const auto* peer = dynamic_cast<const MfModel*>(s.model);
+    REX_REQUIRE(peer != nullptr, "merge: model kind mismatch");
+    REX_REQUIRE(peer->config_.n_users == config_.n_users &&
+                    peer->config_.n_items == config_.n_items &&
+                    peer->config_.embedding_dim == config_.embedding_dim,
+                "merge: MF shape mismatch");
+    peers.push_back(peer);
+  }
+
+  const std::size_t k = config_.embedding_dim;
+  std::vector<float> accum(k);
+
+  // User rows: only holders of a row participate; weights renormalize over
+  // the participating subset (paper §III-C2). A row nobody has seen keeps
+  // this node's (randomly initialized) values.
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    double total = seen_user_[u] ? self_weight : 0.0;
+    for (std::size_t s = 0; s < peers.size(); ++s) {
+      if (peers[s]->seen_user_[u]) total += sources[s].weight;
+    }
+    if (total <= 0.0) continue;
+    linalg::fill(accum, 0.0f);
+    float bias = 0.0f;
+    if (seen_user_[u]) {
+      const float w = static_cast<float>(self_weight / total);
+      linalg::axpy(w, user_embeddings_.row(u), accum);
+      bias += w * user_bias_[u];
+    }
+    for (std::size_t s = 0; s < peers.size(); ++s) {
+      if (!peers[s]->seen_user_[u]) continue;
+      const float w = static_cast<float>(sources[s].weight / total);
+      linalg::axpy(w, peers[s]->user_embeddings_.row(u), accum);
+      bias += w * peers[s]->user_bias_[u];
+      seen_user_[u] = 1;  // row knowledge propagates with the merge
+    }
+    std::copy(accum.begin(), accum.end(), user_embeddings_.row(u).begin());
+    user_bias_[u] = bias;
+  }
+
+  // Item rows: identical policy.
+  for (data::ItemId i = 0; i < config_.n_items; ++i) {
+    double total = seen_item_[i] ? self_weight : 0.0;
+    for (std::size_t s = 0; s < peers.size(); ++s) {
+      if (peers[s]->seen_item_[i]) total += sources[s].weight;
+    }
+    if (total <= 0.0) continue;
+    linalg::fill(accum, 0.0f);
+    float bias = 0.0f;
+    if (seen_item_[i]) {
+      const float w = static_cast<float>(self_weight / total);
+      linalg::axpy(w, item_embeddings_.row(i), accum);
+      bias += w * item_bias_[i];
+    }
+    for (std::size_t s = 0; s < peers.size(); ++s) {
+      if (!peers[s]->seen_item_[i]) continue;
+      const float w = static_cast<float>(sources[s].weight / total);
+      linalg::axpy(w, peers[s]->item_embeddings_.row(i), accum);
+      bias += w * peers[s]->item_bias_[i];
+      seen_item_[i] = 1;
+    }
+    std::copy(accum.begin(), accum.end(), item_embeddings_.row(i).begin());
+    item_bias_[i] = bias;
+  }
+}
+
+Bytes MfModel::serialize() const {
+  serialize::BinaryWriter w;
+  w.str(kind());
+  w.u32(static_cast<std::uint32_t>(config_.n_users));
+  w.u32(static_cast<std::uint32_t>(config_.n_items));
+  w.u32(static_cast<std::uint32_t>(config_.embedding_dim));
+  w.f32_array(user_embeddings_.flat());
+  w.f32_array(item_embeddings_.flat());
+  w.f32_array(user_bias_);
+  w.f32_array(item_bias_);
+  // Seen masks, bit-packed.
+  const auto write_mask = [&w](const std::vector<std::uint8_t>& mask) {
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      byte |= static_cast<std::uint8_t>((mask[i] & 1) << (i % 8));
+      if (i % 8 == 7 || i + 1 == mask.size()) {
+        w.u8(byte);
+        byte = 0;
+      }
+    }
+  };
+  write_mask(seen_user_);
+  write_mask(seen_item_);
+  return w.take();
+}
+
+void MfModel::deserialize(BytesView payload) {
+  serialize::BinaryReader r(payload);
+  REX_REQUIRE(r.str() == kind(), "payload is not an MF model");
+  REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
+                  r.u32() == config_.embedding_dim,
+              "MF model shape mismatch");
+  r.f32_array(user_embeddings_.flat());
+  r.f32_array(item_embeddings_.flat());
+  r.f32_array(user_bias_);
+  r.f32_array(item_bias_);
+  const auto read_mask = [&r](std::vector<std::uint8_t>& mask) {
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (i % 8 == 0) byte = r.u8();
+      mask[i] = (byte >> (i % 8)) & 1;
+    }
+  };
+  read_mask(seen_user_);
+  read_mask(seen_item_);
+  r.expect_end();
+}
+
+std::size_t MfModel::parameter_count() const {
+  return user_embeddings_.size() + item_embeddings_.size() +
+         user_bias_.size() + item_bias_.size();
+}
+
+std::size_t MfModel::wire_size() const {
+  // kind string (1 length byte + 2 chars) + 3 u32 dims + parameters + masks.
+  return 3 + 3 * sizeof(std::uint32_t) + parameter_count() * sizeof(float) +
+         (config_.n_users + 7) / 8 + (config_.n_items + 7) / 8;
+}
+
+std::size_t MfModel::memory_footprint() const {
+  return parameter_count() * sizeof(float) + seen_user_.size() +
+         seen_item_.size();
+}
+
+}  // namespace rex::ml

@@ -1,0 +1,77 @@
+// Biased matrix factorization trained with SGD (paper §II-A-b, §IV-A3a).
+//
+// Model: p(u,i) = mu + b_u + c_i + x_u · y_i with k-dimensional embeddings,
+// L2 regularization λ on the embeddings, learning rate η. Paper settings:
+// k=10, η=0.005, λ=0.1. Each node additionally tracks which user/item rows
+// it has ever trained on ("seen" masks) so decentralized merging can skip
+// rows a peer knows nothing about (§III-C2).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "ml/model.hpp"
+
+namespace rex::ml {
+
+struct MfConfig {
+  std::size_t n_users = 0;
+  std::size_t n_items = 0;
+  std::size_t embedding_dim = 10;        // k
+  float learning_rate = 0.005f;          // eta
+  float regularization = 0.1f;           // lambda
+  float init_stddev = 0.1f;              // embedding init scale
+  float global_mean = 3.5f;              // mu (dataset mean; fixed, not learned)
+  std::size_t sgd_steps_per_epoch = 500; // fixed-batches rule (§III-E)
+};
+
+class MfModel final : public RecModel {
+ public:
+  /// Initializes embeddings from `init_rng`; biases start at zero.
+  MfModel(const MfConfig& config, Rng& init_rng);
+
+  [[nodiscard]] std::unique_ptr<RecModel> clone() const override;
+  void train_epoch(std::span<const data::Rating> store, Rng& rng) override;
+  void train_full_pass(std::span<const data::Rating> dataset,
+                       Rng& rng) override;
+  [[nodiscard]] float predict(data::UserId user,
+                              data::ItemId item) const override;
+  void merge(std::span<const MergeSource> sources,
+             double self_weight) override;
+  [[nodiscard]] Bytes serialize() const override;
+  void deserialize(BytesView payload) override;
+  [[nodiscard]] std::size_t train_samples_per_epoch() const override {
+    return config_.sgd_steps_per_epoch;
+  }
+  [[nodiscard]] std::size_t flops_per_sample() const override {
+    // predict (2k) + embedding updates (6k) + bias updates.
+    return 8 * config_.embedding_dim + 16;
+  }
+  [[nodiscard]] std::size_t flops_per_prediction() const override {
+    return 2 * config_.embedding_dim + 4;
+  }
+  [[nodiscard]] std::size_t parameter_count() const override;
+  [[nodiscard]] std::size_t wire_size() const override;
+  [[nodiscard]] std::size_t memory_footprint() const override;
+  [[nodiscard]] const char* kind() const override { return "mf"; }
+
+  [[nodiscard]] const MfConfig& config() const { return config_; }
+  [[nodiscard]] bool has_seen_user(data::UserId u) const {
+    return seen_user_[u] != 0;
+  }
+  [[nodiscard]] bool has_seen_item(data::ItemId i) const {
+    return seen_item_[i] != 0;
+  }
+
+  /// One SGD update on a single rating (exposed for tests / benches).
+  void sgd_step(const data::Rating& rating);
+
+ private:
+  MfConfig config_;
+  linalg::Matrix user_embeddings_;   // n_users x k
+  linalg::Matrix item_embeddings_;   // n_items x k
+  std::vector<float> user_bias_;     // b
+  std::vector<float> item_bias_;     // c
+  std::vector<std::uint8_t> seen_user_;
+  std::vector<std::uint8_t> seen_item_;
+};
+
+}  // namespace rex::ml

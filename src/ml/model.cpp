@@ -1,0 +1,21 @@
+#include "ml/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rex::ml {
+
+double RecModel::rmse(std::span<const data::Rating> ratings) const {
+  if (ratings.empty()) return 0.0;
+  double acc = 0.0;
+  for (const data::Rating& r : ratings) {
+    const float prediction = std::clamp(predict(r.user, r.item),
+                                        data::kMinRating, data::kMaxRating);
+    const double error = static_cast<double>(prediction) -
+                         static_cast<double>(r.value);
+    acc += error * error;
+  }
+  return std::sqrt(acc / static_cast<double>(ratings.size()));
+}
+
+}  // namespace rex::ml

@@ -1,0 +1,36 @@
+// Network message envelope (the ZeroMQ substitution; DESIGN.md §1).
+//
+// The envelope metadata (src, dst, kind) travels in cleartext like TCP/ZMQ
+// headers would; the payload is ciphertext between attested SGX nodes and
+// plaintext in native runs (paper §III-B).
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace rex::net {
+
+using NodeId = std::uint32_t;
+
+enum class MessageKind : std::uint8_t {
+  kAttestation = 0,  // JSON handshake messages (cleartext by design)
+  kProtocol = 1,     // REX payloads: raw-data batches or model blobs
+};
+
+struct Envelope {
+  NodeId src = 0;
+  NodeId dst = 0;
+  MessageKind kind = MessageKind::kProtocol;
+  Bytes payload;
+
+  /// Bytes on the wire: payload plus the fixed header.
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kHeaderSize;
+  }
+
+  static constexpr std::size_t kHeaderSize =
+      2 * sizeof(NodeId) + sizeof(MessageKind) + sizeof(std::uint32_t);
+};
+
+}  // namespace rex::net

@@ -1,0 +1,75 @@
+#include "net/transport.hpp"
+
+#include "support/error.hpp"
+
+namespace rex::net {
+
+Transport::Transport(std::size_t node_count)
+    : outboxes_(node_count),
+      inboxes_(node_count),
+      stats_(node_count),
+      epoch_stats_(node_count) {}
+
+void Transport::check_node(NodeId node) const {
+  REX_REQUIRE(node < outboxes_.size(), "transport node id out of range");
+}
+
+void Transport::send(Envelope env) {
+  check_node(env.src);
+  check_node(env.dst);
+  REX_REQUIRE(env.src != env.dst, "node sending to itself");
+  outboxes_[env.src].push_back(std::move(env));
+}
+
+void Transport::flush_round() {
+  for (auto& outbox : outboxes_) {
+    while (!outbox.empty()) {
+      Envelope env = std::move(outbox.front());
+      outbox.pop_front();
+      const std::size_t wire = env.wire_size();
+      stats_[env.src].messages_sent++;
+      stats_[env.src].bytes_sent += wire;
+      stats_[env.dst].messages_received++;
+      stats_[env.dst].bytes_received += wire;
+      epoch_stats_[env.src].messages_sent++;
+      epoch_stats_[env.src].bytes_sent += wire;
+      epoch_stats_[env.dst].messages_received++;
+      epoch_stats_[env.dst].bytes_received += wire;
+      inboxes_[env.dst].push_back(std::move(env));
+    }
+  }
+}
+
+std::vector<Envelope> Transport::drain_inbox(NodeId node) {
+  check_node(node);
+  std::vector<Envelope> out(inboxes_[node].begin(), inboxes_[node].end());
+  inboxes_[node].clear();
+  return out;
+}
+
+std::size_t Transport::inbox_size(NodeId node) const {
+  check_node(node);
+  return inboxes_[node].size();
+}
+
+const TrafficStats& Transport::stats(NodeId node) const {
+  check_node(node);
+  return stats_[node];
+}
+
+std::uint64_t Transport::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const TrafficStats& s : stats_) total += s.bytes_sent;
+  return total;
+}
+
+void Transport::reset_epoch_stats() {
+  for (TrafficStats& s : epoch_stats_) s = TrafficStats{};
+}
+
+const TrafficStats& Transport::epoch_stats(NodeId node) const {
+  check_node(node);
+  return epoch_stats_[node];
+}
+
+}  // namespace rex::net

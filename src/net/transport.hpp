@@ -1,0 +1,72 @@
+// In-process transport with per-node traffic accounting and round-barrier
+// delivery.
+//
+// Decentralized REX runs synchronize on rounds (a node proceeds when it
+// heard from all neighbors — paper §III-D); the simulator therefore delivers
+// in two phases: sends during round r go to per-sender outboxes (no
+// contention under the node-parallel thread pool), and flush_round() routes
+// them into destination inboxes for round r+1 in deterministic (sender id,
+// send order) sequence.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace rex::net {
+
+/// Cumulative per-node traffic counters.
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_sent + bytes_received;  // the paper's "data in + out"
+  }
+};
+
+class Transport {
+ public:
+  explicit Transport(std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return outboxes_.size(); }
+
+  /// Queues an envelope from env.src. Thread-safe across distinct senders
+  /// (each sender owns its outbox); a single sender must not send
+  /// concurrently with itself.
+  void send(Envelope env);
+
+  /// Routes all queued sends into destination inboxes. Call at the round
+  /// barrier only (single-threaded).
+  void flush_round();
+
+  /// Removes and returns everything deliverable to `node`.
+  [[nodiscard]] std::vector<Envelope> drain_inbox(NodeId node);
+
+  /// Messages waiting for `node` (after flush_round()).
+  [[nodiscard]] std::size_t inbox_size(NodeId node) const;
+
+  [[nodiscard]] const TrafficStats& stats(NodeId node) const;
+
+  /// Sum of per-node sent bytes (every byte is counted once as sent and
+  /// once as received).
+  [[nodiscard]] std::uint64_t total_bytes_sent() const;
+
+  /// Clears per-epoch counters kept by epoch_stats(); cumulative stats()
+  /// are unaffected.
+  void reset_epoch_stats();
+  [[nodiscard]] const TrafficStats& epoch_stats(NodeId node) const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<std::deque<Envelope>> outboxes_;  // indexed by sender
+  std::vector<std::deque<Envelope>> inboxes_;   // indexed by receiver
+  std::vector<TrafficStats> stats_;
+  std::vector<TrafficStats> epoch_stats_;
+};
+
+}  // namespace rex::net

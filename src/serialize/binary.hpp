@@ -1,0 +1,87 @@
+// Compact binary wire format for hot-path payloads (raw-data batches and
+// model blobs). Little-endian fixed-width scalars plus LEB128 varints;
+// readers bounds-check every access and throw rex::Error on truncated or
+// corrupt input — malformed network bytes must never crash an enclave.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "support/bytes.hpp"
+
+namespace rex::serialize {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+
+  /// Bulk little-endian f32 block, no length prefix (caller knows the
+  /// count). One resize+memcpy — this is the model-blob hot path.
+  void f32_array(std::span<const float> values);
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void bytes(BytesView b);
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  /// Raw bytes, no length prefix (caller controls framing).
+  void raw(BytesView b) { append(out_, b); }
+
+  [[nodiscard]] const Bytes& buffer() const { return out_; }
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+
+  /// Bulk little-endian f32 block into `out` (counterpart of
+  /// BinaryWriter::f32_array): one bounds check + memcpy.
+  void f32_array(std::span<float> out);
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+
+  /// Raw view of the next n bytes (consumed).
+  [[nodiscard]] BytesView raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+  /// Asserts that the whole buffer was consumed (message framing check).
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rex::serialize

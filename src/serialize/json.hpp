@@ -1,0 +1,86 @@
+// Minimal JSON value / parser / printer.
+//
+// The paper serializes attestation messages as JSON (it cites nlohmann/json);
+// this is the in-repo substitute. Supports the full JSON data model with
+// deterministic (sorted-key) object printing so measurements over attestation
+// transcripts are stable. Not built for speed — the hot path uses
+// serialize/binary.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rex::serialize {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // ordered => deterministic
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] static Json object() { return Json(JsonObject{}); }
+  [[nodiscard]] static Json array() { return Json(JsonArray{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw rex::Error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object access. `operator[]` inserts nulls (builder style); `at` throws
+  /// on missing keys (parser style); `contains` tests.
+  Json& operator[](const std::string& key);
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array append.
+  void push_back(Json v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes (compact; objects print keys in sorted order).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses a complete JSON document; throws rex::Error on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace rex::serialize

@@ -1,0 +1,40 @@
+#include "sim/centralized.hpp"
+
+#include "support/error.hpp"
+
+namespace rex::sim {
+
+ExperimentResult run_centralized(CentralizedSetup setup, std::size_t epochs) {
+  REX_REQUIRE(setup.model_factory != nullptr, "centralized needs a factory");
+  REX_REQUIRE(!setup.train.empty(), "centralized needs training data");
+  const CostModel cost_model(setup.costs);
+
+  Rng rng(setup.seed);
+  std::unique_ptr<ml::RecModel> model = setup.model_factory(rng);
+
+  ExperimentResult result;
+  result.label = setup.label;
+  SimTime clock;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    model->train_full_pass(setup.train, rng);
+    RoundRecord record;
+    record.epoch = epoch;
+    record.mean_rmse = model->rmse(setup.test);
+    record.min_rmse = record.mean_rmse;
+    record.max_rmse = record.mean_rmse;
+    record.round_time = cost_model.centralized_epoch_time(
+        setup.train.size(), model->flops_per_sample(), setup.test.size(),
+        model->flops_per_prediction());
+    record.mean_stages.train = record.round_time;
+    clock += record.round_time;
+    record.cumulative_time = clock;
+    record.mean_memory_bytes =
+        static_cast<double>(model->memory_footprint());
+    record.max_memory_bytes = record.mean_memory_bytes;
+    record.mean_store_size = static_cast<double>(setup.train.size());
+    result.rounds.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace rex::sim

@@ -1,0 +1,28 @@
+// Centralized baseline (the "Centralized (baseline)" curve in Figs 1/2/4).
+//
+// One model trained with full shuffled passes over the entire train set,
+// evaluated on the entire test set; time per epoch from the same CostModel
+// (no network, no enclave).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+
+namespace rex::sim {
+
+struct CentralizedSetup {
+  std::vector<data::Rating> train;
+  std::vector<data::Rating> test;
+  ml::ModelFactory model_factory;
+  std::uint64_t seed = 1;
+  CostParams costs;
+  std::string label = "centralized";
+};
+
+/// Trains for `epochs` full passes, recording RMSE and simulated time.
+[[nodiscard]] ExperimentResult run_centralized(CentralizedSetup setup,
+                                               std::size_t epochs);
+
+}  // namespace rex::sim

@@ -1,0 +1,97 @@
+#include "sim/cost_model.hpp"
+
+namespace rex::sim {
+
+namespace {
+constexpr double kNano = 1e-9;
+}
+
+StageTimes CostModel::stage_times(
+    const core::EpochCounters& c,
+    const enclave::RuntimeStats& rt, double memory_slowdown, bool secure,
+    std::size_t flops_per_sample, std::size_t flops_per_prediction) const {
+  const double compute_factor =
+      (secure ? params_.sgx_compute_factor : 1.0) * memory_slowdown;
+
+  StageTimes t;
+
+  // merge: deserialization + crypto on inbound payloads, parameter
+  // averaging (MS) or store appends (REX). Inbound ecall transitions are
+  // attributed here (messages enter the enclave during merge).
+  double merge_ns =
+      static_cast<double>(c.bytes_deserialized) * params_.deserialize_byte_ns;
+  merge_ns += static_cast<double>(c.merged_params) * params_.merge_param_ns *
+              compute_factor;
+  merge_ns += static_cast<double>(c.ratings_appended + c.duplicates_dropped) *
+              params_.store_append_ns;
+  if (secure) {
+    // Crypto buffers live in enclave memory: paging beyond the EPC slows
+    // the AEAD walk down along with the rest of the memory-bound work.
+    merge_ns += static_cast<double>(c.bytes_deserialized) *
+                params_.crypto_byte_ns * memory_slowdown;
+    merge_ns += static_cast<double>(rt.ecalls) * params_.transition_ns;
+  }
+  t.merge = SimTime{merge_ns * kNano};
+
+  // train: fixed SGD work, scaled by the in-enclave compute factor and the
+  // EPC paging slowdown (memory-bound embedding walks).
+  const double train_ns = static_cast<double>(c.sgd_samples) *
+                          (static_cast<double>(flops_per_sample) *
+                               params_.flop_ns +
+                           params_.sgd_sample_overhead_ns) *
+                          compute_factor;
+  t.train = SimTime{train_ns * kNano};
+
+  // share: serialization + outbound crypto + ocall transitions + wire
+  // occupancy of everything sent this epoch.
+  double share_ns =
+      static_cast<double>(c.bytes_serialized) * params_.serialize_byte_ns;
+  if (secure) {
+    share_ns += static_cast<double>(c.bytes_serialized) *
+                params_.crypto_byte_ns * memory_slowdown;
+    share_ns += static_cast<double>(rt.ocalls) * params_.transition_ns;
+  }
+  t.share = SimTime{share_ns * kNano} +
+            network_time(c.bytes_serialized, c.messages_sent);
+
+  // test: forward passes over the local test set.
+  const double test_ns = static_cast<double>(c.test_predictions) *
+                         (static_cast<double>(flops_per_prediction) *
+                              params_.flop_ns +
+                          params_.prediction_overhead_ns) *
+                         compute_factor;
+  t.test = SimTime{test_ns * kNano};
+  return t;
+}
+
+StageTimes CostModel::stage_times(const core::UntrustedHost& host) const {
+  const core::TrustedNode& node = host.trusted();
+  return stage_times(node.last_epoch(), host.runtime().stats(),
+                     host.runtime().memory_slowdown(),
+                     host.runtime().secure(),
+                     node.model().flops_per_sample(),
+                     node.model().flops_per_prediction());
+}
+
+SimTime CostModel::network_time(std::uint64_t bytes,
+                                std::uint64_t messages) const {
+  if (messages == 0) return SimTime{0.0};
+  return SimTime{static_cast<double>(bytes) / params_.bandwidth_bytes_per_s +
+                 static_cast<double>(messages) * params_.link_latency_s};
+}
+
+SimTime CostModel::centralized_epoch_time(
+    std::uint64_t samples, std::size_t flops_per_sample,
+    std::uint64_t test_predictions,
+    std::size_t flops_per_prediction) const {
+  const double ns =
+      static_cast<double>(samples) *
+          (static_cast<double>(flops_per_sample) * params_.flop_ns +
+           params_.sgd_sample_overhead_ns) +
+      static_cast<double>(test_predictions) *
+          (static_cast<double>(flops_per_prediction) * params_.flop_ns +
+           params_.prediction_overhead_ns);
+  return SimTime{ns * kNano};
+}
+
+}  // namespace rex::sim

@@ -1,0 +1,74 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace rex::sim {
+
+void write_csv(const ExperimentResult& result, const std::string& path) {
+  std::ofstream out(path);
+  REX_REQUIRE(out.good(), "cannot open csv path: " + path);
+  out << "epoch,time_s,mean_rmse,min_rmse,max_rmse,bytes_in_out,"
+         "merge_s,train_s,share_s,test_s,memory_bytes,store_size\n";
+  for (const RoundRecord& r : result.rounds) {
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "%llu,%.6f,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,%.9f,%.1f,"
+                  "%.1f\n",
+                  static_cast<unsigned long long>(r.epoch),
+                  r.cumulative_time.seconds, r.mean_rmse, r.min_rmse,
+                  r.max_rmse, r.mean_bytes_in_out, r.mean_stages.merge.seconds,
+                  r.mean_stages.train.seconds, r.mean_stages.share.seconds,
+                  r.mean_stages.test.seconds, r.mean_memory_bytes,
+                  r.mean_store_size);
+    out << line;
+  }
+}
+
+void print_series(const ExperimentResult& result, std::size_t stride) {
+  std::printf("  %-34s  %10s  %8s  %14s\n", result.label.c_str(), "time",
+              "RMSE", "in+out/epoch");
+  if (stride == 0) stride = 1;
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    if (i % stride != 0 && i + 1 != result.rounds.size()) continue;
+    const RoundRecord& r = result.rounds[i];
+    std::printf("    epoch %-6llu %22s  %8.4f  %14s\n",
+                static_cast<unsigned long long>(r.epoch),
+                format_time(r.cumulative_time).c_str(), r.mean_rmse,
+                format_bytes(r.mean_bytes_in_out).c_str());
+  }
+}
+
+SpeedupRow make_speedup_row(const std::string& setup,
+                            const ExperimentResult& rex,
+                            const ExperimentResult& ms, double tolerance) {
+  SpeedupRow row;
+  row.setup = setup;
+  row.error_target = ms.final_rmse() + tolerance;
+  const auto rex_time = rex.time_to_reach(row.error_target);
+  const auto ms_time = ms.time_to_reach(row.error_target);
+  row.rex_seconds = rex_time ? rex_time->seconds : -1.0;
+  row.ms_seconds = ms_time ? ms_time->seconds : -1.0;
+  return row;
+}
+
+void print_speedup_table(const std::string& title,
+                         const std::vector<SpeedupRow>& rows) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  %-14s %-12s %12s %12s %12s\n", "Setup", "Error target",
+              "REX", "MS", "REX speed-up");
+  for (const SpeedupRow& row : rows) {
+    std::printf("  %-14s %-12.3f %12s %12s %11.1fx\n", row.setup.c_str(),
+                row.error_target,
+                row.rex_seconds >= 0 ? format_time(SimTime{row.rex_seconds}).c_str()
+                                     : "n/a",
+                row.ms_seconds >= 0 ? format_time(SimTime{row.ms_seconds}).c_str()
+                                    : "n/a",
+                row.speedup());
+  }
+}
+
+}  // namespace rex::sim

@@ -1,0 +1,45 @@
+// Reporting helpers shared by the bench binaries: CSV series dumps and
+// fixed-width console tables mirroring the paper's figures/tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace rex::sim {
+
+/// Writes the per-epoch series as CSV (one row per epoch) to `path`.
+/// Columns: epoch,time_s,mean_rmse,min_rmse,max_rmse,bytes_in_out,
+/// merge_s,train_s,share_s,test_s,memory_bytes,store_size.
+void write_csv(const ExperimentResult& result, const std::string& path);
+
+/// Prints a few sampled rows of a convergence series (every `stride`
+/// epochs) with time, RMSE and traffic columns.
+void print_series(const ExperimentResult& result, std::size_t stride);
+
+/// One row of a Table II/III style speedup table.
+struct SpeedupRow {
+  std::string setup;         // e.g. "D-PSGD, ER"
+  double error_target = 0.0; // MS final error (the paper's target choice)
+  double rex_seconds = 0.0;
+  double ms_seconds = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return rex_seconds > 0.0 ? ms_seconds / rex_seconds : 0.0;
+  }
+};
+
+/// Builds a speedup row: target = MS final mean RMSE (Table II/III rule:
+/// "chosen as the final value achieved by MS"), times = first time each
+/// scheme reaches it. A small tolerance absorbs terminal noise.
+[[nodiscard]] SpeedupRow make_speedup_row(const std::string& setup,
+                                          const ExperimentResult& rex,
+                                          const ExperimentResult& ms,
+                                          double tolerance = 0.005);
+
+/// Prints a Table II/III style speedup table.
+void print_speedup_table(const std::string& title,
+                         const std::vector<SpeedupRow>& rows);
+
+}  // namespace rex::sim

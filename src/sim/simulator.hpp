@@ -1,0 +1,91 @@
+// Synchronous-round decentralized simulator.
+//
+// Drives N REX hosts over the in-process transport: a pre-protocol mutual
+// attestation phase (SGX mode), ecall_init epoch 0, then synchronized
+// rounds. Nodes execute in parallel inside a round (they own disjoint state
+// and the transport uses per-sender outboxes); rounds are barriers, matching
+// the paper's synchronization semantics (§III-D). All timing is simulated
+// through the CostModel, so results are deterministic for a given seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/untrusted_host.hpp"
+#include "data/partition.hpp"
+#include "graph/graph.hpp"
+#include "ml/model.hpp"
+#include "net/transport.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rex::sim {
+
+class Simulator {
+ public:
+  struct Setup {
+    const graph::Graph* topology = nullptr;
+    std::vector<data::NodeShard> shards;  // one per topology node
+    core::RexConfig rex;
+    ml::ModelFactory model_factory;
+    std::uint64_t seed = 1;
+    CostParams costs;
+    std::size_t threads = 0;      // 0 = hardware concurrency
+    std::size_t platforms = 4;    // physical machines (paper: 4 SGX servers)
+    std::string label;
+  };
+
+  explicit Simulator(Setup setup);
+
+  /// Runs the mutual attestation phase (no-op in native mode). Throws if
+  /// any pair fails to attest within a bounded number of rounds.
+  void run_attestation();
+
+  /// ecall_init on every node (epoch 0: first local training + share).
+  void initialize_nodes();
+
+  /// Runs `epochs` further synchronized rounds.
+  void run_epochs(std::size_t epochs);
+
+  /// Convenience: attestation + init + epochs.
+  void run(std::size_t epochs);
+
+  [[nodiscard]] const ExperimentResult& result() const { return result_; }
+  [[nodiscard]] std::size_t node_count() const { return hosts_.size(); }
+  [[nodiscard]] core::UntrustedHost& host(core::NodeId id) {
+    return *hosts_.at(id);
+  }
+  [[nodiscard]] net::Transport& transport() { return *transport_; }
+  [[nodiscard]] const graph::Graph& topology() const { return *topology_; }
+
+  /// Rounds the attestation phase needed (0 for native runs).
+  [[nodiscard]] std::size_t attestation_rounds() const {
+    return attestation_rounds_;
+  }
+
+ private:
+  void deliver_and_run_round();
+  void collect_round_record();
+
+  const graph::Graph* topology_;
+  core::RexConfig rex_;
+  CostModel cost_model_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<core::UntrustedHost>> hosts_;
+  std::vector<data::NodeShard> shards_;  // consumed by initialize_nodes()
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Platform services (SGX mode).
+  std::unique_ptr<crypto::Drbg> platform_drbg_;
+  std::vector<std::unique_ptr<enclave::QuotingEnclave>> quoting_enclaves_;
+  std::unique_ptr<enclave::DcapVerifier> verifier_;
+
+  ExperimentResult result_;
+  SimTime clock_;
+  std::size_t attestation_rounds_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace rex::sim

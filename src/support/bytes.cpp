@@ -1,0 +1,64 @@
+#include "support/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace rex {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_encode(BytesView b) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(digits[byte >> 4]);
+    out.push_back(digits[byte & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+  REX_REQUIRE(hex.size() % 2 == 0, "hex string must have even length");
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    REX_REQUIRE(hi >= 0 && lo >= 0, "invalid hex digit");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string format_bytes(double bytes) {
+  std::array<char, 32> buf{};
+  if (bytes >= kGiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f GiB", bytes / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f MiB", bytes / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.0f B", bytes);
+  }
+  return buf.data();
+}
+
+}  // namespace rex

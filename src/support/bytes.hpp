@@ -1,0 +1,63 @@
+// Byte-buffer utilities: the common currency between crypto, serialization
+// and the network substrate.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rex {
+
+/// Owned byte buffer. All wire payloads, ciphertexts, keys and digests use
+/// this alias so the libraries compose without conversions.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a byte buffer from a string's raw contents (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as text (caller asserts it is printable).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string hex_encode(BytesView b);
+
+/// Parses lower/upper-case hex; throws rex::Error on odd length or bad digit.
+Bytes hex_decode(std::string_view hex);
+
+/// Little-endian fixed-width integer load/store (unaligned-safe).
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;  // REX targets little-endian hosts; asserted in support tests.
+}
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Formats a byte count as a human-readable string ("12.3 MiB").
+std::string format_bytes(double bytes);
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace rex

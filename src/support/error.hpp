@@ -1,0 +1,50 @@
+// Error handling primitives shared by every REX library.
+//
+// REX follows the C++ Core Guidelines convention: exceptions signal
+// violations of preconditions/invariants that cannot be expressed in the type
+// system. `Error` carries a short context string identifying the failing
+// check so test failures and crashes are self-describing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rex {
+
+/// Exception thrown by REX precondition / invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(std::string_view kind, std::string_view cond,
+                               std::string_view file, int line,
+                               std::string_view msg) {
+  std::string s;
+  s.reserve(kind.size() + cond.size() + file.size() + msg.size() + 32);
+  s.append(kind).append(": (").append(cond).append(") at ").append(file);
+  s.append(":").append(std::to_string(line));
+  if (!msg.empty()) s.append(" — ").append(msg);
+  throw Error(s);
+}
+}  // namespace detail
+
+}  // namespace rex
+
+/// Precondition check: throws rex::Error when `cond` is false.
+/// Used for conditions that depend on caller input and must hold in release
+/// builds too (never compiled out).
+#define REX_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::rex::detail::raise("precondition violated", #cond,      \
+                                      __FILE__, __LINE__, (msg));          \
+  } while (0)
+
+/// Internal invariant check (same semantics; distinct label aids triage).
+#define REX_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) ::rex::detail::raise("invariant violated", #cond,         \
+                                      __FILE__, __LINE__, (msg));          \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rex {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  char line[1100];
+  std::snprintf(line, sizeof line, "[rex %-5s] %s\n", level_name(level), body);
+  std::fputs(line, stderr);
+}
+
+}  // namespace rex

@@ -1,0 +1,66 @@
+// Simulated time.
+//
+// All experiment timings in this reproduction are *simulated*: they are
+// derived from explicit operation counts through sim::CostModel rather than
+// measured wall-clock, so figures are deterministic and machine-independent
+// (DESIGN.md §4 "Simulated time"). SimTime is a plain double of seconds with
+// formatting helpers; keeping it a distinct type documents intent at API
+// boundaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rex {
+
+/// A point (or span) of simulated time, in seconds.
+struct SimTime {
+  double seconds = 0.0;
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double s) : seconds(s) {}
+
+  constexpr SimTime& operator+=(SimTime other) {
+    seconds += other.seconds;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.seconds + b.seconds};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.seconds - b.seconds};
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) {
+    return a.seconds < b.seconds;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) {
+    return a.seconds > b.seconds;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.seconds <= b.seconds;
+  }
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.seconds == b.seconds;
+  }
+
+  [[nodiscard]] double minutes() const { return seconds / 60.0; }
+  [[nodiscard]] double millis() const { return seconds * 1e3; }
+};
+
+/// "1.2 ms" / "3.4 s" / "5.6 min" — for experiment reports.
+inline std::string format_time(SimTime t) {
+  char buf[32];
+  const double s = t.seconds;
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f min", s / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace rex

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch, used only by the benchmark harness and examples to
+// report real execution times; never by the simulation (which is deterministic
+// — see sim_clock.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace rex {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rex

@@ -1,0 +1,97 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rex {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  tasks_.resize(threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = workers_.size();
+  if (workers == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    first_error_ = nullptr;
+    const std::size_t chunk = (n + workers - 1) / workers;
+    pending_ = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min(n, w * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      tasks_[w] = Task{begin, end, &fn};
+      if (begin < end) ++pending_;
+    }
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    // Drain every unclaimed chunk of this batch. Any subset of awakened
+    // workers can complete the batch, so a late wake-up cannot deadlock it.
+    for (;;) {
+      Task task{};
+      {
+        std::lock_guard lock(mutex_);
+        for (auto& t : tasks_) {
+          if (t.fn != nullptr && t.begin < t.end) {
+            task = t;
+            t.fn = nullptr;  // claimed
+            break;
+          }
+        }
+      }
+      if (task.fn == nullptr) break;  // batch fully claimed
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mutex_);
+        if (error && !first_error_) first_error_ = error;
+        if (--pending_ == 0) work_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace rex

@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// The simulator parallelizes *across nodes within a round* (nodes own
+// disjoint state and rounds are barriers — DESIGN.md §4), so a static
+// block-cyclic index split is enough and keeps results bitwise identical to
+// the serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rex {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous blocks, one per
+  /// worker. Blocks until every call returned. Exceptions from `fn`
+  /// propagate to the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> tasks_;        // one slot per worker
+  std::size_t pending_ = 0;        // tasks not yet finished this batch
+  std::size_t generation_ = 0;     // batch counter
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rex

@@ -1,0 +1,360 @@
+// Crypto library tests, pinned against published test vectors:
+//  - SHA-256: FIPS 180-4 / NIST examples
+//  - HMAC-SHA256: RFC 4231
+//  - HKDF: RFC 5869
+//  - ChaCha20, Poly1305, AEAD: RFC 8439
+//  - X25519: RFC 7748
+// plus property tests (round-trips, tamper detection, DH commutativity).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "support/bytes.hpp"
+
+namespace rex::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d) {
+  return hex_encode(BytesView(d.data(), d.size()));
+}
+
+template <std::size_t N>
+std::array<std::uint8_t, N> array_from_hex(std::string_view hex) {
+  const Bytes b = hex_decode(hex);
+  std::array<std::uint8_t, N> out{};
+  EXPECT_EQ(b.size(), N);
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes(""))),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(to_bytes(chunk));
+  EXPECT_EQ(
+      digest_hex(h.finish()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), sha256(data)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Messages of length 55, 56, 63, 64, 65 exercise every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(to_bytes(msg));
+    Sha256 b;
+    for (char c : msg) {
+      const std::uint8_t byte = static_cast<std::uint8_t>(c);
+      b.update(BytesView(&byte, 1));
+    }
+    EXPECT_EQ(a.finish(), b.finish()) << "length " << len;
+  }
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(key, to_bytes("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(to_bytes("Jefe"),
+                             to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      digest_hex(hmac_sha256(
+          key, to_bytes("Test Using Larger Than Block-Size Key - "
+                        "Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex_decode("000102030405060708090a0b0c");
+  const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, OutputLengthRespected) {
+  for (std::size_t len : {1u, 31u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(hkdf({}, to_bytes("ikm"), to_bytes("info"), len).size(), len);
+  }
+}
+
+TEST(ConstantTimeEqual, Behaviour) {
+  EXPECT_TRUE(constant_time_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("same"), to_bytes("SAME")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("short"), to_bytes("longer")));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  const auto key = array_from_hex<32>(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = array_from_hex<12>("000000090000004a00000000");
+  std::uint8_t block[64];
+  chacha20_block(key, 1, nonce, block);
+  EXPECT_EQ(hex_encode(BytesView(block, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+  const auto key = array_from_hex<32>(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = array_from_hex<12>("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes ct = chacha20_xor(key, nonce, 1, to_bytes(plaintext));
+  EXPECT_EQ(hex_encode(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  const auto key = array_from_hex<32>(
+      "1111111111111111111111111111111111111111111111111111111111111111");
+  const ChaChaNonce nonce{};
+  const Bytes msg = to_bytes("raw data sharing redemption");
+  EXPECT_EQ(chacha20_xor(key, nonce, 7, chacha20_xor(key, nonce, 7, msg)),
+            msg);
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  const auto key = array_from_hex<32>(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const PolyTag tag =
+      poly1305(key, to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(hex_encode(BytesView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, BlockBoundaries) {
+  // Lengths around the 16-byte block edge all authenticate distinctly.
+  const auto key = array_from_hex<32>(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  PolyTag prev{};
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 32u, 33u}) {
+    const Bytes msg(len, 0x42);
+    const PolyTag tag = poly1305(key, msg);
+    EXPECT_NE(tag, prev);
+    prev = tag;
+  }
+}
+
+TEST(Aead, Rfc8439Vector) {
+  const auto key = array_from_hex<32>(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const auto nonce = array_from_hex<12>("070000004041424344454647");
+  const Bytes aad = hex_decode("50515253c0c1c2c3c4c5c6c7");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes sealed = aead_seal(key, nonce, aad, to_bytes(plaintext));
+  // ciphertext || tag
+  EXPECT_EQ(hex_encode(BytesView(sealed.data() + sealed.size() - 16, 16)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), plaintext);
+}
+
+TEST(Aead, DetectsTampering) {
+  Drbg drbg(1);
+  const ChaChaKey key = drbg.next_key();
+  const ChaChaNonce nonce = nonce_from_sequence(5, 0);
+  const Bytes aad = to_bytes("hdr");
+  Bytes sealed = aead_seal(key, nonce, aad, to_bytes("secret ratings"));
+  // Flip each byte in turn; every variant must fail to authenticate.
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(aead_open(key, nonce, aad, corrupted).has_value())
+        << "byte " << i;
+  }
+}
+
+TEST(Aead, DetectsWrongKeyNonceAad) {
+  Drbg drbg(2);
+  const ChaChaKey key = drbg.next_key();
+  const ChaChaKey other_key = drbg.next_key();
+  const ChaChaNonce nonce = nonce_from_sequence(1, 0);
+  const Bytes sealed = aead_seal(key, nonce, to_bytes("a"), to_bytes("m"));
+  EXPECT_FALSE(aead_open(other_key, nonce, to_bytes("a"), sealed).has_value());
+  EXPECT_FALSE(
+      aead_open(key, nonce_from_sequence(2, 0), to_bytes("a"), sealed)
+          .has_value());
+  EXPECT_FALSE(aead_open(key, nonce, to_bytes("b"), sealed).has_value());
+  EXPECT_TRUE(aead_open(key, nonce, to_bytes("a"), sealed).has_value());
+}
+
+TEST(Aead, EmptyPlaintextAndAad) {
+  Drbg drbg(3);
+  const ChaChaKey key = drbg.next_key();
+  const ChaChaNonce nonce{};
+  const Bytes sealed = aead_seal(key, nonce, {}, {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  const auto opened = aead_open(key, nonce, {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Aead, RejectsTooShortCiphertext) {
+  Drbg drbg(4);
+  const ChaChaKey key = drbg.next_key();
+  EXPECT_FALSE(aead_open(key, ChaChaNonce{}, {}, Bytes(7)).has_value());
+}
+
+TEST(Aead, NonceFromSequenceUnique) {
+  std::set<std::string> seen;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    for (std::uint32_t dir = 0; dir < 2; ++dir) {
+      const ChaChaNonce n = nonce_from_sequence(seq, dir);
+      seen.insert(hex_encode(BytesView(n.data(), n.size())));
+    }
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = array_from_hex<32>(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = array_from_hex<32>(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  const X25519Key out = x25519(scalar, point);
+  EXPECT_EQ(hex_encode(BytesView(out.data(), out.size())),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = array_from_hex<32>(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = array_from_hex<32>(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  const X25519Key out = x25519(scalar, point);
+  EXPECT_EQ(hex_encode(BytesView(out.data(), out.size())),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748BasePointAlice) {
+  const auto alice_private = array_from_hex<32>(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const X25519Key alice_public = x25519_public_key(alice_private);
+  EXPECT_EQ(hex_encode(BytesView(alice_public.data(), alice_public.size())),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+}
+
+TEST(X25519, Rfc7748SharedSecret) {
+  const auto alice_private = array_from_hex<32>(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_private = array_from_hex<32>(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const X25519Key alice_public = x25519_public_key(alice_private);
+  const X25519Key bob_public = x25519_public_key(bob_private);
+  X25519Key k_alice{}, k_bob{};
+  ASSERT_TRUE(x25519_shared_secret(alice_private, bob_public, k_alice));
+  ASSERT_TRUE(x25519_shared_secret(bob_private, alice_public, k_bob));
+  EXPECT_EQ(k_alice, k_bob);
+  EXPECT_EQ(hex_encode(BytesView(k_alice.data(), k_alice.size())),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, DhCommutesForRandomKeys) {
+  Drbg drbg(99);
+  for (int i = 0; i < 8; ++i) {
+    const X25519Key a = drbg.next_x25519_private();
+    const X25519Key b = drbg.next_x25519_private();
+    X25519Key k_ab{}, k_ba{};
+    ASSERT_TRUE(x25519_shared_secret(a, x25519_public_key(b), k_ab));
+    ASSERT_TRUE(x25519_shared_secret(b, x25519_public_key(a), k_ba));
+    EXPECT_EQ(k_ab, k_ba);
+  }
+}
+
+TEST(X25519, RejectsAllZeroPeer) {
+  Drbg drbg(7);
+  const X25519Key priv = drbg.next_x25519_private();
+  X25519Key out{};
+  EXPECT_FALSE(x25519_shared_secret(priv, X25519Key{}, out));
+  for (std::uint8_t byte : out) EXPECT_EQ(byte, 0);
+}
+
+TEST(Drbg, DeterministicPerSeed) {
+  Drbg a(42), b(42), c(43);
+  const Bytes ba = a.generate(64);
+  EXPECT_EQ(ba, b.generate(64));
+  EXPECT_NE(ba, c.generate(64));
+}
+
+TEST(Drbg, StreamsAreContiguous) {
+  Drbg a(1), b(1);
+  Bytes chunked;
+  append(chunked, a.generate(10));
+  append(chunked, a.generate(100));
+  append(chunked, a.generate(1));
+  EXPECT_EQ(chunked, b.generate(111));
+}
+
+TEST(Drbg, KeysDiffer) {
+  Drbg drbg(5);
+  EXPECT_NE(drbg.next_key(), drbg.next_key());
+}
+
+}  // namespace
+}  // namespace rex::crypto

@@ -1,0 +1,231 @@
+// Linear algebra tests: BLAS-1 kernels, dense matrix ops used by MF/DNN,
+// CSR construction invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace rex::linalg {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(dot(std::span<const float>{}, std::span<const float>{}),
+                  0.0f);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  const std::vector<float> a{1, 2}, b{1};
+  EXPECT_THROW((void)dot(a, b), Error);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<float> x{1, -2, 4};
+  scale(x, 0.5f);
+  EXPECT_EQ(x, (std::vector<float>{0.5f, -1.0f, 2.0f}));
+}
+
+TEST(VectorOps, WeightedSumInplace) {
+  std::vector<float> dst{2, 4};
+  const std::vector<float> src{10, 20};
+  weighted_sum_inplace(dst, 0.5f, src, 0.25f);
+  EXPECT_EQ(dst, (std::vector<float>{3.5f, 7.0f}));
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<float> x{3, 4};
+  EXPECT_FLOAT_EQ(l2_norm(x), 5.0f);
+  const std::vector<float> y{0, 0};
+  EXPECT_FLOAT_EQ(l1_distance(x, y), 7.0f);
+}
+
+TEST(VectorOps, Fill) {
+  std::vector<float> x(4, 1.0f);
+  fill(x, -2.5f);
+  for (float v : x) EXPECT_EQ(v, -2.5f);
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(3, 2, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m(2, 1), 1.5f);
+  m(1, 0) = -7.0f;
+  EXPECT_EQ(m(1, 0), -7.0f);
+  EXPECT_EQ(m.byte_size(), 6 * sizeof(float));
+}
+
+TEST(Matrix, RowViewsAliasStorage) {
+  Matrix m(2, 3);
+  auto r1 = m.row(1);
+  r1[2] = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.row(1)[2], 9.0f);
+}
+
+TEST(Matrix, WeightedMerge) {
+  Matrix a(2, 2, 2.0f), b(2, 2, 4.0f);
+  a.weighted_merge(0.5f, b, 0.5f);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(a(r, c), 3.0f);
+}
+
+TEST(Matrix, WeightedMergeShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a.weighted_merge(0.5f, b, 0.5f), Error);
+}
+
+TEST(Matrix, RandomizeNormalStatistics) {
+  Rng rng(17);
+  Matrix m(100, 100);
+  m.randomize_normal(rng, 0.1f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (float v : m.flat()) {
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.005);
+  EXPECT_NEAR(sum_sq / n, 0.01, 0.002);
+}
+
+TEST(Matrix, RandomizeUniformBounds) {
+  Rng rng(18);
+  Matrix m(50, 50);
+  m.randomize_uniform(rng, 0.25f);
+  for (float v : m.flat()) {
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LT(v, 0.25f);
+  }
+}
+
+TEST(Matrix, Matvec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  float k = 1.0f;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = k++;
+  const std::vector<float> x{1, 0, -1};
+  std::vector<float> y(2);
+  matvec(m, x, y);
+  EXPECT_EQ(y, (std::vector<float>{-2, -2}));
+}
+
+TEST(Matrix, MatvecTransposed) {
+  Matrix m(2, 3);
+  float k = 1.0f;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = k++;
+  const std::vector<float> x{1, 1};
+  std::vector<float> y(3);
+  matvec_transposed(m, x, y);
+  EXPECT_EQ(y, (std::vector<float>{5, 7, 9}));
+}
+
+TEST(Matrix, Rank1Update) {
+  Matrix m(2, 2, 0.0f);
+  const std::vector<float> a{1, 2}, b{3, 4};
+  rank1_update(m, 2.0f, a, b);
+  EXPECT_EQ(m(0, 0), 6.0f);
+  EXPECT_EQ(m(0, 1), 8.0f);
+  EXPECT_EQ(m(1, 0), 12.0f);
+  EXPECT_EQ(m(1, 1), 16.0f);
+}
+
+TEST(Matrix, MatvecShapeMismatchThrows) {
+  Matrix m(2, 3);
+  std::vector<float> x(2), y(2);
+  EXPECT_THROW(matvec(m, x, y), Error);
+}
+
+CsrMatrix make_csr() {
+  // 3x4 matrix with 5 entries, given in scrambled order.
+  const std::vector<std::uint32_t> rows{2, 0, 1, 0, 2};
+  const std::vector<std::uint32_t> cols{3, 1, 0, 3, 0};
+  const std::vector<float> vals{5.0f, 1.0f, 2.0f, 3.0f, 4.0f};
+  return CsrMatrix(3, 4, rows, cols, vals);
+}
+
+TEST(Csr, BasicProperties) {
+  const CsrMatrix m = make_csr();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_NEAR(m.density(), 5.0 / 12.0, 1e-12);
+  EXPECT_NEAR(m.mean_value(), (5 + 1 + 2 + 3 + 4) / 5.0, 1e-12);
+}
+
+TEST(Csr, RowsSortedByColumn) {
+  const CsrMatrix m = make_csr();
+  const auto row0 = m.row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].col, 1u);
+  EXPECT_EQ(row0[0].value, 1.0f);
+  EXPECT_EQ(row0[1].col, 3u);
+  EXPECT_EQ(row0[1].value, 3.0f);
+  const auto row2 = m.row(2);
+  ASSERT_EQ(row2.size(), 2u);
+  EXPECT_EQ(row2[0].col, 0u);
+  EXPECT_EQ(row2[1].col, 3u);
+}
+
+TEST(Csr, AtLookups) {
+  const CsrMatrix m = make_csr();
+  EXPECT_EQ(m.at(0, 1), 1.0f);
+  EXPECT_EQ(m.at(1, 0), 2.0f);
+  EXPECT_EQ(m.at(1, 1), 0.0f);            // missing -> default
+  EXPECT_EQ(m.at(1, 1, -1.0f), -1.0f);    // missing -> custom
+  EXPECT_THROW((void)m.at(3, 0), Error);  // out of bounds
+}
+
+TEST(Csr, DuplicateEntriesLastWins) {
+  const std::vector<std::uint32_t> rows{0, 0};
+  const std::vector<std::uint32_t> cols{0, 0};
+  const std::vector<float> vals{1.0f, 2.0f};
+  const CsrMatrix m(1, 1, rows, cols, vals);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.at(0, 0), 2.0f);
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  const std::vector<std::uint32_t> rows{2};
+  const std::vector<std::uint32_t> cols{0};
+  const std::vector<float> vals{1.0f};
+  const CsrMatrix m(4, 1, rows, cols, vals);
+  EXPECT_EQ(m.row(0).size(), 0u);
+  EXPECT_EQ(m.row(1).size(), 0u);
+  EXPECT_EQ(m.row(2).size(), 1u);
+  EXPECT_EQ(m.row(3).size(), 0u);
+}
+
+TEST(Csr, OutOfBoundsTripletThrows) {
+  const std::vector<std::uint32_t> rows{5};
+  const std::vector<std::uint32_t> cols{0};
+  const std::vector<float> vals{1.0f};
+  EXPECT_THROW(CsrMatrix(3, 1, rows, cols, vals), Error);
+}
+
+TEST(Csr, MismatchedTripletLengthsThrow) {
+  const std::vector<std::uint32_t> rows{0, 1};
+  const std::vector<std::uint32_t> cols{0};
+  const std::vector<float> vals{1.0f, 2.0f};
+  EXPECT_THROW(CsrMatrix(3, 1, rows, cols, vals), Error);
+}
+
+}  // namespace
+}  // namespace rex::linalg

@@ -1,0 +1,124 @@
+// Transport tests: round-barrier delivery, ordering, traffic accounting.
+#include <gtest/gtest.h>
+
+#include "net/transport.hpp"
+#include "support/error.hpp"
+
+namespace rex::net {
+namespace {
+
+Envelope make(NodeId src, NodeId dst, std::size_t payload_size,
+              MessageKind kind = MessageKind::kProtocol) {
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.kind = kind;
+  env.payload = Bytes(payload_size, 0x11);
+  return env;
+}
+
+TEST(Envelope, WireSizeIncludesHeader) {
+  const Envelope env = make(0, 1, 100);
+  EXPECT_EQ(env.wire_size(), 100 + Envelope::kHeaderSize);
+}
+
+TEST(Transport, NoDeliveryBeforeFlush) {
+  Transport t(3);
+  t.send(make(0, 1, 10));
+  EXPECT_EQ(t.inbox_size(1), 0u);
+  EXPECT_TRUE(t.drain_inbox(1).empty());
+  t.flush_round();
+  EXPECT_EQ(t.inbox_size(1), 1u);
+  const auto delivered = t.drain_inbox(1);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].src, 0u);
+  EXPECT_EQ(t.inbox_size(1), 0u);
+}
+
+TEST(Transport, DeterministicDeliveryOrder) {
+  Transport t(4);
+  // Sent in scrambled sender order; delivery is (sender id, send order).
+  t.send(make(2, 0, 1));
+  t.send(make(1, 0, 2));
+  t.send(make(1, 0, 3));
+  t.send(make(3, 0, 4));
+  t.flush_round();
+  const auto delivered = t.drain_inbox(0);
+  ASSERT_EQ(delivered.size(), 4u);
+  EXPECT_EQ(delivered[0].src, 1u);
+  EXPECT_EQ(delivered[0].payload.size(), 2u);
+  EXPECT_EQ(delivered[1].src, 1u);
+  EXPECT_EQ(delivered[1].payload.size(), 3u);
+  EXPECT_EQ(delivered[2].src, 2u);
+  EXPECT_EQ(delivered[3].src, 3u);
+}
+
+TEST(Transport, RoundIsolation) {
+  Transport t(2);
+  t.send(make(0, 1, 1));
+  t.flush_round();
+  t.send(make(0, 1, 2));  // next round's message
+  const auto round1 = t.drain_inbox(1);
+  ASSERT_EQ(round1.size(), 1u);
+  EXPECT_EQ(round1[0].payload.size(), 1u);
+  t.flush_round();
+  const auto round2 = t.drain_inbox(1);
+  ASSERT_EQ(round2.size(), 1u);
+  EXPECT_EQ(round2[0].payload.size(), 2u);
+}
+
+TEST(Transport, TrafficAccounting) {
+  Transport t(3);
+  t.send(make(0, 1, 100));
+  t.send(make(0, 2, 50));
+  t.send(make(1, 0, 25));
+  t.flush_round();
+  EXPECT_EQ(t.stats(0).messages_sent, 2u);
+  EXPECT_EQ(t.stats(0).bytes_sent,
+            100 + 50 + 2 * Envelope::kHeaderSize);
+  EXPECT_EQ(t.stats(0).messages_received, 1u);
+  EXPECT_EQ(t.stats(0).bytes_received, 25 + Envelope::kHeaderSize);
+  EXPECT_EQ(t.stats(1).bytes_received, 100 + Envelope::kHeaderSize);
+  EXPECT_EQ(t.stats(0).bytes_total(),
+            t.stats(0).bytes_sent + t.stats(0).bytes_received);
+  EXPECT_EQ(t.total_bytes_sent(), 175 + 3 * Envelope::kHeaderSize);
+}
+
+TEST(Transport, EpochStatsResettable) {
+  Transport t(2);
+  t.send(make(0, 1, 10));
+  t.flush_round();
+  EXPECT_EQ(t.epoch_stats(0).bytes_sent, 10 + Envelope::kHeaderSize);
+  t.reset_epoch_stats();
+  EXPECT_EQ(t.epoch_stats(0).bytes_sent, 0u);
+  // Cumulative stats survive the reset.
+  EXPECT_EQ(t.stats(0).bytes_sent, 10 + Envelope::kHeaderSize);
+  t.send(make(0, 1, 20));
+  t.flush_round();
+  EXPECT_EQ(t.epoch_stats(0).bytes_sent, 20 + Envelope::kHeaderSize);
+  EXPECT_EQ(t.stats(0).bytes_sent, 30 + 2 * Envelope::kHeaderSize);
+}
+
+TEST(Transport, Validation) {
+  Transport t(2);
+  EXPECT_THROW(t.send(make(0, 5, 1)), Error);
+  EXPECT_THROW(t.send(make(5, 0, 1)), Error);
+  EXPECT_THROW(t.send(make(1, 1, 1)), Error);
+  EXPECT_THROW((void)t.drain_inbox(7), Error);
+  EXPECT_THROW((void)t.stats(7), Error);
+}
+
+TEST(Transport, ManyMessagesFifoPerSender) {
+  Transport t(2);
+  for (int i = 0; i < 100; ++i) t.send(make(0, 1, i + 1));
+  t.flush_round();
+  const auto delivered = t.drain_inbox(1);
+  ASSERT_EQ(delivered.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(i)].payload.size(),
+              static_cast<std::size_t>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace rex::net

@@ -1,0 +1,565 @@
+// Property-based tests: parameterized sweeps (TEST_P) asserting invariants
+// over many randomized inputs — wire-format round-trips, AEAD tamper
+// resistance, ECDH key agreement, topology guarantees, partition
+// conservation, rating quantization, and model-merge algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/payload.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/x25519.hpp"
+#include "data/movielens.hpp"
+#include "data/partition.hpp"
+#include "graph/topology.hpp"
+#include "ml/mf.hpp"
+#include "serialize/binary.hpp"
+#include "data/compress.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace rex {
+namespace {
+
+// ===== Payload wire format =====
+
+class PayloadRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PayloadRoundTrip, RandomRawDataPayloadSurvives) {
+  Rng rng(GetParam());
+  core::ProtocolPayload p;
+  p.kind = core::PayloadKind::kRawData;
+  p.epoch = rng.uniform(1u << 20);
+  p.sender_degree = static_cast<std::uint32_t>(rng.uniform(64));
+  const std::size_t count = rng.uniform(400);
+  p.ratings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    p.ratings.push_back(data::Rating{
+        static_cast<data::UserId>(rng.uniform(10000)),
+        static_cast<data::ItemId>(rng.uniform(30000)),
+        data::quantize_rating(
+            static_cast<float>(rng.uniform_real(0.0, 6.0)))});
+  }
+  const core::ProtocolPayload q = core::ProtocolPayload::decode(p.encode());
+  EXPECT_EQ(q.kind, p.kind);
+  EXPECT_EQ(q.epoch, p.epoch);
+  EXPECT_EQ(q.sender_degree, p.sender_degree);
+  EXPECT_EQ(q.ratings, p.ratings);
+}
+
+TEST_P(PayloadRoundTrip, RandomModelBlobSurvives) {
+  Rng rng(GetParam() ^ 0xB10B);
+  core::ProtocolPayload p;
+  p.kind = core::PayloadKind::kModel;
+  p.model_blob.resize(rng.uniform(5000));
+  for (auto& b : p.model_blob) {
+    b = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  const core::ProtocolPayload q = core::ProtocolPayload::decode(p.encode());
+  EXPECT_EQ(q.model_blob, p.model_blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PayloadRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ===== Binary codec =====
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodesBoundaryNeighborhood) {
+  // Probe v-1, v, v+1 around each varint length boundary.
+  const std::uint64_t base = GetParam();
+  for (const std::uint64_t v :
+       {base == 0 ? 0 : base - 1, base, base + 1}) {
+    serialize::BinaryWriter w;
+    w.varint(v);
+    serialize::BinaryReader r(w.buffer());
+    EXPECT_EQ(r.varint(), v);
+    r.expect_end();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthBoundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull << 7, 1ull << 14, 1ull << 21, 1ull << 28,
+                      1ull << 35, 1ull << 42, 1ull << 49, 1ull << 56,
+                      ~0ull - 1));
+
+class F32ArrayRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(F32ArrayRoundTrip, BulkBlockMatchesScalarEncoding) {
+  Rng rng(GetParam() + 31);
+  std::vector<float> values(GetParam());
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 10.0));
+  }
+  // Bulk write == per-element write, byte for byte.
+  serialize::BinaryWriter bulk, scalar;
+  bulk.f32_array(values);
+  for (float v : values) scalar.f32(v);
+  EXPECT_EQ(bulk.buffer(), scalar.buffer());
+  // Bulk read returns the originals.
+  std::vector<float> decoded(values.size());
+  serialize::BinaryReader r(bulk.buffer());
+  r.f32_array(decoded);
+  r.expect_end();
+  EXPECT_EQ(decoded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, F32ArrayRoundTrip,
+                         ::testing::Values(0, 1, 3, 64, 1023));
+
+// ===== AEAD tamper resistance =====
+
+class AeadTamper : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AeadTamper, AnySingleBitFlipIsRejected) {
+  Rng rng(GetParam() ^ 0x7A317A31);
+  crypto::ChaChaKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.uniform(256));
+  const crypto::ChaChaNonce nonce =
+      crypto::nonce_from_sequence(rng.uniform(1u << 30), 0);
+  Bytes aad(8), plaintext(1 + rng.uniform(512));
+  for (auto& b : aad) b = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.uniform(256));
+
+  const Bytes sealed = crypto::aead_seal(key, nonce, aad, plaintext);
+  ASSERT_EQ(crypto::aead_open(key, nonce, aad, sealed).value(), plaintext);
+
+  // Flip one random bit in 16 independent positions: every result must be
+  // rejected (ciphertext and tag are both authenticated).
+  for (int trial = 0; trial < 16; ++trial) {
+    Bytes corrupted = sealed;
+    const std::size_t byte = rng.uniform(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+    EXPECT_FALSE(crypto::aead_open(key, nonce, aad, corrupted).has_value());
+  }
+  // Wrong AAD and wrong nonce are rejected too.
+  Bytes other_aad = aad;
+  other_aad[0] ^= 1;
+  EXPECT_FALSE(crypto::aead_open(key, nonce, other_aad, sealed).has_value());
+  EXPECT_FALSE(crypto::aead_open(key, crypto::nonce_from_sequence(
+                                          rng.uniform(1u << 30), 1),
+                                 aad, sealed)
+                   .has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AeadTamper,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ===== X25519 key agreement =====
+
+class EcdhAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdhAgreement, BothSidesDeriveTheSameSecret) {
+  Rng rng(GetParam() * 2654435761u);
+  crypto::X25519Key a{}, b{};
+  for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  const crypto::X25519Key pub_a = crypto::x25519_public_key(a);
+  const crypto::X25519Key pub_b = crypto::x25519_public_key(b);
+  crypto::X25519Key ab{}, ba{};
+  ASSERT_TRUE(crypto::x25519_shared_secret(a, pub_b, ab));
+  ASSERT_TRUE(crypto::x25519_shared_secret(b, pub_a, ba));
+  EXPECT_EQ(ab, ba);
+  // A third party with a different private key gets a different secret.
+  crypto::X25519Key c{};
+  for (auto& byte : c) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  crypto::X25519Key cb{};
+  ASSERT_TRUE(crypto::x25519_shared_secret(c, pub_b, cb));
+  EXPECT_NE(cb, ab);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdhAgreement,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ===== Topology invariants =====
+
+struct TopologySweepParams {
+  std::size_t nodes;
+  std::uint64_t seed;
+};
+
+class SmallWorldSweepP
+    : public ::testing::TestWithParam<TopologySweepParams> {};
+
+TEST_P(SmallWorldSweepP, ConnectedWithPaperDegreeAndClustering) {
+  const auto [nodes, seed] = GetParam();
+  Rng rng(seed);
+  const graph::Graph g = graph::make_small_world(
+      {.nodes = nodes, .close_connections = 6, .far_probability = 0.03},
+      rng);
+  EXPECT_EQ(g.node_count(), nodes);
+  EXPECT_TRUE(g.is_connected());
+  // Rewiring preserves the edge count of the ring lattice: mean degree 6.
+  EXPECT_NEAR(g.average_degree(), 6.0, 1e-9);
+  // Small world signature (vs ER at the same density): high clustering.
+  EXPECT_GT(g.average_clustering_coefficient(), 0.3);
+  // No self-loops, symmetric adjacency.
+  for (graph::NodeId v = 0; v < nodes; ++v) {
+    for (graph::NodeId w : g.neighbors(v)) {
+      EXPECT_NE(v, w);
+      EXPECT_TRUE(g.has_edge(w, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, SmallWorldSweepP,
+    ::testing::Values(TopologySweepParams{20, 1}, TopologySweepParams{50, 2},
+                      TopologySweepParams{128, 3},
+                      TopologySweepParams{610, 4}));
+
+class ErdosRenyiSweepP
+    : public ::testing::TestWithParam<TopologySweepParams> {};
+
+TEST_P(ErdosRenyiSweepP, ConnectivityRepairedAndDegreeNearExpectation) {
+  const auto [nodes, seed] = GetParam();
+  Rng rng(seed);
+  const double p = 0.05;
+  const graph::Graph g = graph::make_erdos_renyi(
+      {.nodes = nodes, .edge_probability = p, .ensure_connected = true},
+      rng);
+  EXPECT_TRUE(g.is_connected());
+  const double expected_degree = p * static_cast<double>(nodes - 1);
+  // Repair only adds edges, so the mean degree is at least ~binomial
+  // expectation and not wildly above it.
+  EXPECT_GE(g.average_degree(), expected_degree * 0.6);
+  EXPECT_LE(g.average_degree(), expected_degree + 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ErdosRenyiSweepP,
+    ::testing::Values(TopologySweepParams{50, 5}, TopologySweepParams{128, 6},
+                      TopologySweepParams{610, 7}));
+
+TEST(MetropolisHastingsP, RowsAreSubStochasticAndSymmetricAcrossEdges) {
+  Rng rng(11);
+  const graph::Graph g = graph::make_erdos_renyi(
+      {.nodes = 60, .edge_probability = 0.08, .ensure_connected = true},
+      rng);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    double total = 0.0;
+    for (graph::NodeId w : g.neighbors(v)) {
+      const double vw =
+          graph::metropolis_hastings_weight(g.degree(v), g.degree(w));
+      const double wv =
+          graph::metropolis_hastings_weight(g.degree(w), g.degree(v));
+      EXPECT_DOUBLE_EQ(vw, wv);  // symmetric weights => doubly stochastic
+      EXPECT_GT(vw, 0.0);
+      total += vw;
+    }
+    // Self weight absorbs the remainder: neighbor mass stays below 1.
+    EXPECT_LT(total, 1.0 + 1e-12);
+  }
+}
+
+// ===== Dataset / partition conservation =====
+
+class PartitionConservation : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(PartitionConservation, RoundRobinConservesEveryRating) {
+  data::SyntheticConfig config;
+  config.n_users = 61;
+  config.n_items = 500;
+  config.n_ratings = 3000;
+  config.seed = 17;
+  const data::Dataset dataset = data::generate_synthetic(config);
+  Rng rng(18);
+  const data::Split split = data::train_test_split(dataset, 0.7, rng);
+
+  const std::size_t n_nodes = GetParam();
+  const auto shards =
+      data::partition_users_round_robin(dataset, split, n_nodes);
+  ASSERT_EQ(shards.size(), n_nodes);
+
+  // Every train/test rating lands on exactly one node, and each user's
+  // ratings are co-located.
+  std::size_t train_total = 0, test_total = 0;
+  std::vector<int> user_node(config.n_users, -1);
+  for (std::size_t node = 0; node < n_nodes; ++node) {
+    train_total += shards[node].train.size();
+    test_total += shards[node].test.size();
+    for (const data::Rating& r : shards[node].train) {
+      if (user_node[r.user] == -1) {
+        user_node[r.user] = static_cast<int>(node);
+      }
+      EXPECT_EQ(user_node[r.user], static_cast<int>(node));
+    }
+  }
+  EXPECT_EQ(train_total, split.train.size());
+  EXPECT_EQ(test_total, split.test.size());
+  // Balanced round-robin: node user counts differ by at most one.
+  std::vector<std::size_t> users_per_node(n_nodes, 0);
+  for (int node : user_node) {
+    if (node >= 0) ++users_per_node[static_cast<std::size_t>(node)];
+  }
+  const auto [lo, hi] =
+      std::minmax_element(users_per_node.begin(), users_per_node.end());
+  EXPECT_LE(*hi - *lo, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, PartitionConservation,
+                         ::testing::Values(2, 7, 50, 61));
+
+class QuantizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantizeSweep, AlwaysOnHalfStarGridWithinBounds) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 500; ++i) {
+    const float raw = static_cast<float>(rng.normal(3.5, 2.5));
+    const float q = data::quantize_rating(raw);
+    EXPECT_GE(q, 0.5f);
+    EXPECT_LE(q, 5.0f);
+    const float doubled = q * 2.0f;
+    EXPECT_FLOAT_EQ(doubled, std::round(doubled));  // half-star grid
+    // Quantization moves the value by at most half a step (after clamping).
+    if (raw >= 0.5f && raw <= 5.0f) {
+      EXPECT_LE(std::abs(q - raw), 0.25f + 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeSweep,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+class SyntheticSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyntheticSweep, GeneratorRespectsRequestedShapeAtAnyDensity) {
+  // Includes densities beyond the per-user ceiling, which must clamp
+  // instead of hanging (regression for the quota-saturation bug).
+  data::SyntheticConfig config;
+  config.n_users = 30;
+  config.n_items = 80;
+  config.n_ratings = GetParam();
+  config.min_ratings_per_user = 5;
+  config.seed = 9;
+  const data::Dataset d = data::generate_synthetic(config);
+  EXPECT_EQ(d.n_users, config.n_users);
+  EXPECT_EQ(d.n_items, config.n_items);
+  EXPECT_LE(d.ratings.size(), config.n_users * config.n_items);
+  // (user, item) pairs are unique.
+  std::set<std::pair<data::UserId, data::ItemId>> seen;
+  for (const data::Rating& r : d.ratings) {
+    EXPECT_LT(r.user, d.n_users);
+    EXPECT_LT(r.item, d.n_items);
+    EXPECT_TRUE(seen.emplace(r.user, r.item).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SyntheticSweep,
+                         ::testing::Values(150, 600, 1200, 1500, 2400));
+
+// ===== Model merge algebra =====
+
+ml::MfConfig tiny_mf() {
+  ml::MfConfig config;
+  config.n_users = 12;
+  config.n_items = 40;
+  config.embedding_dim = 4;
+  return config;
+}
+
+class MergeAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeAlgebra, MergingWithSelfIsIdentity) {
+  Rng rng(GetParam() + 40);
+  ml::MfModel model(tiny_mf(), rng);
+  data::Dataset d;
+  d.n_users = 12;
+  d.n_items = 40;
+  Rng data_rng(GetParam() + 41);
+  for (int i = 0; i < 60; ++i) {
+    d.ratings.push_back(data::Rating{
+        static_cast<data::UserId>(data_rng.uniform(12)),
+        static_cast<data::ItemId>(data_rng.uniform(40)),
+        data::quantize_rating(
+            static_cast<float>(data_rng.uniform_real(0.5, 5.0)))});
+  }
+  Rng train_rng(GetParam() + 42);
+  model.train_epoch(d.ratings, train_rng);
+
+  const auto copy = model.clone();
+  const ml::MergeSource source{copy.get(), 0.5};
+  model.merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
+  // avg(x, x) == x for every prediction.
+  for (data::UserId u = 0; u < 12; ++u) {
+    for (data::ItemId i = 0; i < 40; i += 7) {
+      EXPECT_NEAR(model.predict(u, i), copy->predict(u, i), 1e-5) << u;
+    }
+  }
+}
+
+TEST_P(MergeAlgebra, PairwiseAverageLandsBetweenTheInputs) {
+  Rng rng_a(GetParam() + 50), rng_b(GetParam() + 51);
+  ml::MfModel a(tiny_mf(), rng_a);
+  ml::MfModel b(tiny_mf(), rng_b);
+  // Make both models "know" every row so no mask renormalization applies.
+  data::Dataset d;
+  d.n_users = 12;
+  d.n_items = 40;
+  for (data::UserId u = 0; u < 12; ++u) {
+    for (data::ItemId i = 0; i < 40; ++i) {
+      d.ratings.push_back(
+          data::Rating{u, i, data::quantize_rating(3.0f + (u + i) % 3)});
+    }
+  }
+  Rng train_rng(GetParam() + 52);
+  a.train_full_pass(d.ratings, train_rng);
+  b.train_full_pass(d.ratings, train_rng);
+
+  const auto before = a.clone();
+  const ml::MergeSource source{&b, 0.5};
+  a.merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
+  for (data::UserId u = 0; u < 12; u += 3) {
+    for (data::ItemId i = 0; i < 40; i += 11) {
+      const float lo = std::min(before->predict(u, i), b.predict(u, i));
+      const float hi = std::max(before->predict(u, i), b.predict(u, i));
+      // Bilinear interaction term keeps the average within a whisker of
+      // the interval; biases are exactly averaged.
+      EXPECT_GE(a.predict(u, i), lo - 0.1f);
+      EXPECT_LE(a.predict(u, i), hi + 0.1f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+
+// ===== Compressed rating codec =====
+
+class CompressCodec : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressCodec, RoundTripsAsASortedMultiset) {
+  Rng rng(GetParam() * 97 + 5);
+  std::vector<data::Rating> batch;
+  const std::size_t count = rng.uniform(500);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(data::Rating{
+        static_cast<data::UserId>(rng.uniform(2000)),
+        static_cast<data::ItemId>(rng.uniform(9000)),
+        data::quantize_rating(
+            static_cast<float>(rng.uniform_real(0.0, 6.0)))});
+  }
+  // Duplicates are legal (stateless sampling with replacement).
+  if (!batch.empty()) batch.push_back(batch.front());
+
+  serialize::BinaryWriter w;
+  data::encode_ratings_compressed(w, batch);
+  serialize::BinaryReader r(w.buffer());
+  std::vector<data::Rating> decoded = data::decode_ratings_compressed(r);
+  r.expect_end();
+
+  // Same multiset, sorted order.
+  const auto key = [](const data::Rating& x) {
+    return std::make_tuple(x.user, x.item, x.value);
+  };
+  std::sort(batch.begin(), batch.end(),
+            [&](const data::Rating& a, const data::Rating& b) {
+              return key(a) < key(b);
+            });
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(key(decoded[i]), key(batch[i])) << i;
+  }
+  // And the codec actually compresses MovieLens-shaped batches.
+  if (batch.size() >= 50) {
+    EXPECT_LT(w.size(), batch.size() * data::kRatingWireSize / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressCodec,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(CompressCodecEdge, EmptyBatch) {
+  serialize::BinaryWriter w;
+  data::encode_ratings_compressed(w, {});
+  serialize::BinaryReader r(w.buffer());
+  EXPECT_TRUE(data::decode_ratings_compressed(r).empty());
+  r.expect_end();
+}
+
+TEST(CompressCodecEdge, RejectsOffGridRating) {
+  serialize::BinaryWriter w;
+  EXPECT_THROW(data::encode_ratings_compressed(
+                   w, {data::Rating{1, 2, 3.14f}}),
+               Error);
+}
+
+TEST(CompressCodecEdge, SizeHelperMatchesEncoder) {
+  Rng rng(77);
+  std::vector<data::Rating> batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.push_back(data::Rating{
+        static_cast<data::UserId>(rng.uniform(600)),
+        static_cast<data::ItemId>(rng.uniform(9000)),
+        data::quantize_rating(
+            static_cast<float>(rng.uniform_real(0.5, 5.0)))});
+  }
+  serialize::BinaryWriter w;
+  data::encode_ratings_compressed(w, batch);
+  EXPECT_EQ(data::compressed_ratings_size(batch), w.size());
+}
+
+// ===== Non-IID partitioner =====
+
+class TastePartition : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TastePartition, ConservesRatingsAndSortsCohortsByTaste) {
+  data::SyntheticConfig config;
+  config.n_users = 60;
+  config.n_items = 300;
+  config.n_ratings = 2400;
+  config.bias_stddev = 1.0;  // pronounced taste differences
+  config.seed = 23;
+  const data::Dataset dataset = data::generate_synthetic(config);
+  Rng rng(24);
+  const data::Split split = data::train_test_split(dataset, 0.7, rng);
+
+  const std::size_t n_nodes = GetParam();
+  const auto taste =
+      data::partition_users_by_taste(dataset, split, n_nodes);
+  const auto round_robin =
+      data::partition_users_round_robin(dataset, split, n_nodes);
+
+  // Conservation: same totals as the IID placement.
+  EXPECT_EQ(data::total_train_ratings(taste),
+            data::total_train_ratings(round_robin));
+
+  // The first node's cohort rates lower on average than the last node's
+  // (cohorts are taste-sorted).
+  const auto shard_mean = [](const data::NodeShard& shard) {
+    double sum = 0.0;
+    for (const data::Rating& r : shard.train) {
+      sum += static_cast<double>(r.value);
+    }
+    return shard.train.empty() ? 0.0
+                               : sum / static_cast<double>(
+                                           shard.train.size());
+  };
+  EXPECT_LT(shard_mean(taste.front()), shard_mean(taste.back()));
+
+  // Cohort spread: the by-taste split must produce a wider range of
+  // per-node mean ratings than round-robin.
+  const auto spread = [&](const std::vector<data::NodeShard>& shards) {
+    double lo = 1e9, hi = -1e9;
+    for (const data::NodeShard& shard : shards) {
+      if (shard.train.empty()) continue;
+      const double m = shard_mean(shard);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(taste), spread(round_robin));
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, TastePartition,
+                         ::testing::Values(4, 10, 30));
+
+}  // namespace
+}  // namespace rex

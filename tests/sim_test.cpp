@@ -1,0 +1,234 @@
+// Simulation tests: cost model algebra, simulator end-to-end behaviour
+// (convergence, determinism incl. thread-count independence, traffic gap,
+// SGX overhead direction), centralized baseline, scenario presets.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/centralized.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace rex::sim {
+namespace {
+
+TEST(CostModel, NetworkTime) {
+  CostParams params;
+  params.link_latency_s = 1e-4;
+  params.bandwidth_bytes_per_s = 1e6;
+  const CostModel model(params);
+  EXPECT_DOUBLE_EQ(model.network_time(0, 0).seconds, 0.0);
+  // 1 MB over 1 MB/s + 1 message latency.
+  EXPECT_NEAR(model.network_time(1000000, 1).seconds, 1.0 + 1e-4, 1e-12);
+  EXPECT_NEAR(model.network_time(0, 5).seconds, 5e-4, 1e-12);
+}
+
+TEST(CostModel, StageTimesScaleWithWork) {
+  const CostModel model{CostParams{}};
+  core::EpochCounters c;
+  c.sgd_samples = 1000;
+  c.test_predictions = 100;
+  enclave::RuntimeStats rt;
+  const StageTimes small =
+      model.stage_times(c, rt, 1.0, false, 100, 20);
+  c.sgd_samples = 2000;
+  const StageTimes big = model.stage_times(c, rt, 1.0, false, 100, 20);
+  EXPECT_NEAR(big.train.seconds, 2.0 * small.train.seconds, 1e-12);
+  EXPECT_GT(small.test.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(small.merge.seconds, 0.0);
+}
+
+TEST(CostModel, SgxAddsOverhead) {
+  const CostModel model{CostParams{}};
+  core::EpochCounters c;
+  c.sgd_samples = 1000;
+  c.bytes_serialized = 100000;
+  c.messages_sent = 2;
+  c.bytes_deserialized = 100000;
+  enclave::RuntimeStats rt;
+  rt.ecalls = 3;
+  rt.ocalls = 2;
+  const StageTimes native = model.stage_times(c, rt, 1.0, false, 100, 20);
+  const StageTimes sgx = model.stage_times(c, rt, 1.0, true, 100, 20);
+  EXPECT_GT(sgx.train.seconds, native.train.seconds);
+  EXPECT_GT(sgx.share.seconds, native.share.seconds);
+  EXPECT_GT(sgx.merge.seconds, native.merge.seconds);
+  // Memory slowdown multiplies compute further (EPC overcommit).
+  const StageTimes paged = model.stage_times(c, rt, 1.5, true, 100, 20);
+  EXPECT_NEAR(paged.train.seconds, 1.5 * sgx.train.seconds, 1e-12);
+}
+
+Scenario tiny_scenario() {
+  Scenario s;
+  s.dataset.n_users = 24;
+  s.dataset.n_items = 200;
+  s.dataset.n_ratings = 1500;
+  s.dataset.seed = 3;
+  s.nodes = 0;  // one node per user
+  s.topology = TopologyKind::kSmallWorld;
+  s.model = ModelKind::kMf;
+  s.mf_sgd_steps_per_epoch = 60;
+  s.rex.sharing = core::SharingMode::kRawData;
+  s.rex.algorithm = core::Algorithm::kDpsgd;
+  s.rex.data_points_per_epoch = 30;
+  s.epochs = 25;
+  s.seed = 9;
+  return s;
+}
+
+TEST(Simulator, RunsAndConverges) {
+  const ExperimentResult result = run_scenario(tiny_scenario());
+  ASSERT_EQ(result.rounds.size(), 26u);  // epoch 0 + 25
+  EXPECT_LT(result.final_rmse(), result.rounds.front().mean_rmse);
+  // Simulated clock strictly increases.
+  for (std::size_t i = 1; i < result.rounds.size(); ++i) {
+    EXPECT_GT(result.rounds[i].cumulative_time.seconds,
+              result.rounds[i - 1].cumulative_time.seconds);
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_scenario(tiny_scenario());
+  const ExperimentResult b = run_scenario(tiny_scenario());
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].mean_rmse, b.rounds[i].mean_rmse);
+    EXPECT_DOUBLE_EQ(a.rounds[i].cumulative_time.seconds,
+                     b.rounds[i].cumulative_time.seconds);
+  }
+}
+
+TEST(Simulator, ThreadCountDoesNotChangeResults) {
+  Scenario s1 = tiny_scenario();
+  s1.threads = 1;
+  Scenario s2 = tiny_scenario();
+  s2.threads = 4;
+  const ExperimentResult a = run_scenario(s1);
+  const ExperimentResult b = run_scenario(s2);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].mean_rmse, b.rounds[i].mean_rmse);
+  }
+}
+
+TEST(Simulator, RexBeatsModelSharingOnTrafficAndTime) {
+  Scenario rex = tiny_scenario();
+  Scenario ms = tiny_scenario();
+  ms.rex.sharing = core::SharingMode::kModel;
+  const ExperimentResult rex_result = run_scenario(rex);
+  const ExperimentResult ms_result = run_scenario(ms);
+  // Orders of magnitude less traffic (Fig 2 row 1).
+  EXPECT_GT(ms_result.mean_epoch_traffic(),
+            20.0 * rex_result.mean_epoch_traffic());
+  // And faster simulated epochs (Fig 1).
+  EXPECT_LT(rex_result.total_time().seconds,
+            ms_result.total_time().seconds);
+}
+
+TEST(Simulator, RmwCheaperThanDpsgdPerEpoch) {
+  Scenario dpsgd = tiny_scenario();
+  Scenario rmw = tiny_scenario();
+  rmw.rex.algorithm = core::Algorithm::kRmw;
+  rmw.rex.sharing = core::SharingMode::kModel;
+  dpsgd.rex.sharing = core::SharingMode::kModel;
+  const ExperimentResult r_rmw = run_scenario(rmw);
+  const ExperimentResult r_dpsgd = run_scenario(dpsgd);
+  // Unicast vs broadcast (§IV-B): RMW epochs are cheaper in traffic.
+  EXPECT_LT(r_rmw.mean_epoch_traffic(), r_dpsgd.mean_epoch_traffic());
+}
+
+TEST(Simulator, SgxRunsAttestationAndAddsOverhead) {
+  Scenario native = tiny_scenario();
+  Scenario sgx = tiny_scenario();
+  sgx.rex.security = enclave::SecurityMode::kSgxSimulated;
+  const ExperimentResult r_native = run_scenario(native);
+  const ExperimentResult r_sgx = run_scenario(sgx);
+  ASSERT_EQ(r_native.rounds.size(), r_sgx.rounds.size());
+  // Identical learning (same seeds; SGX changes cost, not math).
+  for (std::size_t i = 0; i < r_native.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r_native.rounds[i].mean_rmse,
+                     r_sgx.rounds[i].mean_rmse);
+  }
+  // But slower simulated time.
+  EXPECT_GT(r_sgx.total_time().seconds, r_native.total_time().seconds);
+}
+
+TEST(Simulator, ValidatesSetup) {
+  Simulator::Setup setup;
+  EXPECT_THROW(Simulator{std::move(setup)}, Error);
+}
+
+TEST(Centralized, ConvergesAndIsFastest) {
+  const Scenario s = tiny_scenario();
+  const ExperimentResult central = run_scenario_centralized(s, 25);
+  ASSERT_EQ(central.rounds.size(), 25u);
+  EXPECT_LT(central.final_rmse(), central.rounds.front().mean_rmse);
+  const ExperimentResult decentralized = run_scenario(s);
+  // The centralized baseline reaches its error floor fastest (Fig 1).
+  const double target = central.final_rmse() + 0.05;
+  const auto c_time = central.time_to_reach(target);
+  ASSERT_TRUE(c_time.has_value());
+  const auto d_time = decentralized.time_to_reach(target);
+  if (d_time.has_value()) {
+    EXPECT_LT(c_time->seconds, d_time->seconds);
+  }
+}
+
+TEST(Report, SpeedupRowComputation) {
+  ExperimentResult rex, ms;
+  for (int i = 0; i < 10; ++i) {
+    RoundRecord r;
+    r.epoch = static_cast<std::uint64_t>(i);
+    r.mean_rmse = 2.0 - 0.1 * i;
+    r.cumulative_time = SimTime{1.0 * (i + 1)};
+    rex.rounds.push_back(r);
+    r.cumulative_time = SimTime{10.0 * (i + 1)};
+    ms.rounds.push_back(r);
+  }
+  const SpeedupRow row = make_speedup_row("D-PSGD, ER", rex, ms, 0.0);
+  EXPECT_NEAR(row.error_target, 1.1, 1e-9);
+  EXPECT_NEAR(row.speedup(), 10.0, 1e-9);
+}
+
+TEST(Report, CsvWrites) {
+  const ExperimentResult result = run_scenario(tiny_scenario());
+  const std::string path = "/tmp/rex_sim_test.csv";
+  write_csv(result, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("mean_rmse"), std::string::npos);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, result.rounds.size());
+}
+
+TEST(Scenario, LabelFormat) {
+  Scenario s = tiny_scenario();
+  EXPECT_EQ(scenario_label(s), "D-PSGD, SW, REX");
+  s.rex.sharing = core::SharingMode::kModel;
+  s.rex.algorithm = core::Algorithm::kRmw;
+  s.topology = TopologyKind::kErdosRenyi;
+  s.rex.security = enclave::SecurityMode::kSgxSimulated;
+  EXPECT_EQ(scenario_label(s), "RMW, ER, MS (SGX)");
+}
+
+TEST(Scenario, PrepareProducesConsistentInputs) {
+  const Scenario s = tiny_scenario();
+  ScenarioInputs inputs = prepare_scenario(s);
+  EXPECT_EQ(inputs.node_count, s.dataset.n_users);
+  EXPECT_EQ(inputs.shards.size(), inputs.node_count);
+  EXPECT_EQ(inputs.topology.node_count(), inputs.node_count);
+  EXPECT_TRUE(inputs.topology.is_connected());
+  Rng rng(1);
+  auto model = inputs.model_factory(rng);
+  EXPECT_EQ(model->kind(), std::string("mf"));
+}
+
+}  // namespace
+}  // namespace rex::sim

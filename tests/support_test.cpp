@@ -1,0 +1,261 @@
+// Unit tests for the support kernel: bytes/hex, RNG determinism and
+// distribution sanity, simulated time, thread pool correctness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rex {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  EXPECT_EQ(hex_encode(data), "0001abff7e");
+  EXPECT_EQ(hex_decode("0001abff7e"), data);
+  EXPECT_EQ(hex_decode("0001ABFF7E"), data);
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), Error);
+}
+
+TEST(Bytes, HexRejectsBadDigit) {
+  EXPECT_THROW(hex_decode("zz"), Error);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string text = "rex attestation";
+  EXPECT_EQ(to_string(to_bytes(text)), text);
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  std::uint8_t buf[8];
+  store_le32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(load_le32(buf), 0xDEADBEEFu);
+  store_le64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(load_le64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, FormatBytesPicksUnit) {
+  EXPECT_EQ(format_bytes(12), "12 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.5 * kMiB), "3.50 MiB");
+  EXPECT_EQ(format_bytes(2.0 * kGiB), "2.00 GiB");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng s0 = parent.derive(0);
+  Rng s1 = parent.derive(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (s0.next_u64() == s1.next_u64());
+  EXPECT_LT(equal, 4);
+  // Deriving again yields the identical stream.
+  Rng s0_again = parent.derive(0);
+  EXPECT_EQ(s0_again.next_u64(), Rng(7).derive(0).next_u64());
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(5);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(9);
+  for (std::size_t n : {5u, 50u, 500u}) {
+    const auto sample = rng.sample_indices(n, n / 2 + 1);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+    for (auto idx : sample) EXPECT_LT(idx, n);
+  }
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(9);
+  const auto sample = rng.sample_indices(8, 8);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(9);
+  EXPECT_THROW(rng.sample_indices(3, 4), Error);
+}
+
+TEST(Rng, SampleWithReplacementInRange) {
+  Rng rng(13);
+  const auto sample = rng.sample_with_replacement(4, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  for (auto idx : sample) EXPECT_LT(idx, 4u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a{1.5}, b{2.5};
+  EXPECT_EQ((a + b).seconds, 4.0);
+  EXPECT_EQ((b - a).seconds, 1.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.seconds, 4.0);
+  EXPECT_NEAR(SimTime{90.0}.minutes(), 1.5, 1e-12);
+}
+
+TEST(SimTime, Formatting) {
+  EXPECT_EQ(format_time(SimTime{0.5e-4}), "50.0 us");
+  EXPECT_EQ(format_time(SimTime{0.5}), "500.0 ms");
+  EXPECT_EQ(format_time(SimTime{5.0}), "5.0 s");
+  EXPECT_EQ(format_time(SimTime{600.0}), "10.0 min");
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw Error("boom");
+                                 }),
+               Error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    REX_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, CheckPassesSilently) {
+  EXPECT_NO_THROW(REX_CHECK(2 + 2 == 4, "arithmetic"));
+}
+
+}  // namespace
+}  // namespace rex
