@@ -1,0 +1,102 @@
+// Stragglers — synchronous barrier vs event-driven scheduling under a
+// log-normal straggler distribution (new workload enabled by the event
+// engine; cf. the heterogeneous-device scenarios of decentralized mobile
+// recommender deployments).
+//
+// Every round of a barrier-synchronized run waits for its slowest node, so
+// the round time is the *max* of N log-normal draws; the event engine lets
+// every node advance on its own timeline, so a straggling node only delays
+// itself (RMW) or its immediate neighbors' next round (D-PSGD). This bench
+// reports, for increasing straggler severity:
+//   - barrier: simulated time for all nodes to finish E epochs
+//   - event-driven: simulated time until every node finished E epochs, plus
+//     the min/max per-node epoch counts at that moment (the fast-node
+//     overshoot the barrier forbids)
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+rex::sim::Scenario straggler_scenario(const rex::bench::Options& options,
+                                      rex::core::Algorithm algorithm,
+                                      double sigma) {
+  using namespace rex;
+  const bench::Cell cell{algorithm, sim::TopologyKind::kSmallWorld};
+  sim::Scenario s =
+      bench::one_user_scenario(options, cell, core::SharingMode::kRawData);
+  s.epochs = options.epochs_or(30);
+  s.dynamics.straggler_probability = 0.3;
+  s.dynamics.straggler_lognormal_sigma = sigma;
+  s.dynamics.speed_lognormal_sigma = 0.25;
+  return s;
+}
+
+struct CellResult {
+  double barrier_s = 0.0;
+  double event_s = 0.0;
+  std::uint64_t min_epochs = 0;
+  std::uint64_t max_epochs = 0;
+};
+
+CellResult run_cell(const rex::sim::Scenario& scenario) {
+  using namespace rex;
+  CellResult out;
+
+  sim::Scenario barrier = scenario;
+  barrier.engine_mode = sim::EngineMode::kBarrier;
+  out.barrier_s = bench::run_logged(barrier).total_time().seconds;
+
+  sim::Scenario event = scenario;
+  event.engine_mode = sim::EngineMode::kEventDriven;
+  event.label = "event-driven";
+  sim::ScenarioInputs inputs;
+  sim::Simulator simulator = sim::make_scenario_simulator(event, inputs);
+  simulator.run(event.epochs);
+  out.event_s = simulator.engine().now().seconds;
+  out.min_epochs = ~std::uint64_t{0};
+  for (core::NodeId id = 0; id < simulator.node_count(); ++id) {
+    const auto& status = simulator.engine().node_status(id);
+    out.min_epochs = std::min(out.min_epochs, status.epochs_done);
+    out.max_epochs = std::max(out.max_epochs, status.epochs_done);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_async_stragglers",
+      "Barrier vs event-driven completion time under log-normal stragglers");
+  bench::print_header("Stragglers — barrier vs event-driven engine", options);
+
+  const double sigmas[] = {0.0, 0.5, 1.0, 1.5};
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kRmw, core::Algorithm::kDpsgd}) {
+    std::printf("\n%s, SW, REX (straggler probability 30%%, speed sigma"
+                " 0.25)\n",
+                core::to_string(algorithm));
+    std::printf("  %-14s %-14s %-14s %-9s %s\n", "straggler σ", "barrier",
+                "event-driven", "speedup", "epochs min..max (event)");
+    for (const double sigma : sigmas) {
+      const sim::Scenario scenario =
+          straggler_scenario(options, algorithm, sigma);
+      const CellResult r = run_cell(scenario);
+      std::printf("  %-14.2f %-14s %-14s %-9.2f %llu..%llu\n", sigma,
+                  bench::format_time(r.barrier_s).c_str(),
+                  bench::format_time(r.event_s).c_str(),
+                  r.barrier_s / r.event_s,
+                  static_cast<unsigned long long>(r.min_epochs),
+                  static_cast<unsigned long long>(r.max_epochs));
+    }
+  }
+
+  std::printf(
+      "\nShape: the barrier pays the max of N straggler draws every round,"
+      " so its\ncompletion time grows with σ much faster than the"
+      " event-driven engine's,\nand event-driven fast nodes overshoot the"
+      " epoch target (min < max).\n");
+  return 0;
+}

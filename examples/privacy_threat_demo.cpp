@@ -109,7 +109,7 @@ struct Swarm {
       transport.flush_round();
       for (core::NodeId id = 0; id < kNodes; ++id) {
         for (const net::Envelope& env : transport.drain_inbox(id)) {
-          hosts[id]->on_receive(env);
+          hosts[id]->on_deliver(env);
         }
       }
     }
@@ -162,7 +162,7 @@ int main() {
           std::size_t recovered = 0;
           if (try_recover_ratings(env.payload, &recovered)) ++decodable;
         }
-        swarm.hosts[id]->on_receive(env);
+        swarm.hosts[id]->on_deliver(env);
       }
     }
     std::printf("\n[SGX] eavesdropper captured %zu protocol messages\n",
@@ -180,7 +180,7 @@ int main() {
     tampered.payload[tampered.payload.size() / 2] ^= 0x01;
     bool rejected = false;
     try {
-      swarm.hosts[0]->on_receive(tampered);
+      swarm.hosts[0]->on_deliver(tampered);
     } catch (const Error& e) {
       rejected = true;
       std::printf("[SGX] tampered ciphertext rejected: %s\n", e.what());

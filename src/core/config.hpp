@@ -48,6 +48,11 @@ struct RexConfig {
   /// instead of fixed 12-byte triplets. Off by default to match the paper's
   /// evaluated configuration.
   bool compress_raw_data = false;
+  /// RMW's training period (§III-C1) in simulated seconds, realized as a
+  /// scheduled timer by the event engine. 0 = self-paced: each node starts
+  /// its next epoch the moment the previous one finishes. Ignored by the
+  /// synchronous barrier engine, where one round == one period.
+  double rmw_period_s = 0.0;
   enclave::SecurityMode security = enclave::SecurityMode::kNative;
   enclave::EpcConfig epc = {};
 };

@@ -138,29 +138,64 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   }
 
   ProtocolPayload payload = ProtocolPayload::decode(plaintext);
-  pending_bytes_deserialized_ += plaintext.size();
-  REX_REQUIRE(pending_.find(src) == pending_.end(),
+  // Arrivals queue FIFO per neighbor: under event-driven scheduling a fast
+  // neighbor may deliver round k+1 while we still wait on a slower one for
+  // round k; RMW buffers everything since its last period (§III-C1).
+  // Validate everything before mutating any state: a rejected message must
+  // leave no trace — an empty ghost slot would satisfy round_ready() and
+  // crash the next merge, and accounting a rejected payload would skew the
+  // cost model. (The caller may catch the Error and keep the node running,
+  // as the tamper tests do.)
+  //
+  // A sender's epochs strictly increase and per-edge delivery is FIFO, so
+  // an epoch at or below the neighbor's watermark is a resend or replay —
+  // including of payloads already consumed, which the slot cannot see.
+  // Merging one would silently double-weight (RMW) or permanently skew
+  // (D-PSGD) that neighbor's stream. Checked before the depth cap so a
+  // replay is reported as what it is.
+  const auto watermark = epoch_watermarks_.find(src);
+  REX_REQUIRE(watermark == epoch_watermarks_.end() ||
+                  payload.epoch > watermark->second,
               "duplicate round message from the same neighbor");
-  pending_.emplace(src, std::move(payload));
+  if (config_.algorithm == Algorithm::kDpsgd) {
+    // Pipelining is provably at most one round deep — a neighbor's round
+    // k+2 share needs our round k+1 share, which needs us to consume its
+    // round k — so a third buffered payload is a scheduling bug (and would
+    // grow enclave memory unboundedly).
+    const auto slot_it = pending_.find(src);
+    REX_REQUIRE(slot_it == pending_.end() || slot_it->second.size() < 2,
+                "D-PSGD neighbor more than one round ahead: scheduling bug");
+  }
+  epoch_watermarks_[src] = payload.epoch;
+  pending_bytes_deserialized_ += plaintext.size();  // accepted messages only
+  pending_[src].push_back(PendingInput{std::move(payload), arrival_counter_++});
 
   // D-PSGD readiness (Algorithm 2 line 13): a message from every neighbor.
-  if (config_.algorithm == Algorithm::kDpsgd &&
-      pending_.size() == neighbors_.size()) {
+  if (config_.algorithm == Algorithm::kDpsgd && round_ready()) {
     rex_protocol();
   }
 }
 
-void TrustedNode::ecall_tick() {
-  REX_REQUIRE(initialized_, "tick before ecall_init");
+void TrustedNode::ecall_train_due() {
+  REX_REQUIRE(initialized_, "train event before ecall_init");
   runtime_.record_ecall(0);
   if (config_.algorithm == Algorithm::kRmw) {
     // RMW trains on its period with whatever arrived (§III-C1).
     rex_protocol();
-  } else {
-    // For D-PSGD the epoch already ran at the barrier; a tick with pending
-    // messages would indicate a scheduling bug.
-    REX_CHECK(pending_.empty(), "D-PSGD tick with undelivered messages");
+  } else if (round_ready()) {
+    // D-PSGD pipeline catch-up: every neighbor's next round was already
+    // buffered when the previous epoch consumed its inputs, so no further
+    // arrival will re-trigger the protocol — the engine schedules this
+    // event when the node frees up. (At the barrier this never fires: the
+    // epoch runs on last arrival.)
+    rex_protocol();
   }
+}
+
+bool TrustedNode::round_ready() const {
+  // Slots are erased when drained, so every key holds >= 1 payload.
+  return initialized_ && pending_.size() == neighbors_.size() &&
+         !neighbors_.empty();
 }
 
 void TrustedNode::rex_protocol() {
@@ -182,54 +217,81 @@ void TrustedNode::rex_protocol() {
 void TrustedNode::merge_step() {
   if (pending_.empty()) return;
 
+  // This round's inputs: D-PSGD consumes exactly one payload per neighbor
+  // (oldest first — event-driven pipelining may buffer several rounds from
+  // a fast neighbor); RMW consumes everything since its last period, in
+  // arrival order ("upon receiving a model, a node averages it", §III-C1 —
+  // under the barrier, arrival order and neighbor-id order coincide).
+  std::vector<PendingInput> round;
+  round.reserve(pending_.size());
+  if (config_.algorithm == Algorithm::kDpsgd) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      std::vector<PendingInput>& slot = it->second;
+      round.push_back(std::move(slot.front()));
+      slot.erase(slot.begin());
+      it = slot.empty() ? pending_.erase(it) : std::next(it);
+    }
+  } else {
+    for (auto& [src, inputs] : pending_) {
+      for (PendingInput& input : inputs) {
+        round.push_back(std::move(input));
+      }
+    }
+    pending_.clear();
+    std::sort(round.begin(), round.end(),
+              [](const PendingInput& a, const PendingInput& b) {
+                return a.arrival < b.arrival;
+              });
+  }
+
   if (config_.sharing == SharingMode::kRawData) {
     // Algorithm 2 line 16: append all non-duplicate alien data items.
-    for (auto& [src, payload] : pending_) {
+    for (PendingInput& input : round) {
+      const ProtocolPayload& payload = input.payload;
       if (payload.kind == PayloadKind::kRawData ||
           payload.kind == PayloadKind::kRawDataCompressed) {
         append_raw_data(payload.ratings);
       }
     }
-  } else {
+  } else if (config_.algorithm == Algorithm::kDpsgd) {
     // Model sharing: deserialize alien models and merge (line 15). Alien
     // models are materialized into a reusable scratch pool: deserialize
     // overwrites every field, so recycling clones avoids re-running the
     // (expensive) random initialization of a factory-fresh model per epoch.
-    if (config_.algorithm == Algorithm::kDpsgd) {
-      // Metropolis–Hastings weighted average over all received models
-      // (§III-C2); the self weight absorbs the remainder.
-      std::vector<ml::MergeSource> sources;
-      double neighbor_weight_total = 0.0;
-      std::size_t pool_index = 0;
-      for (auto& [src, payload] : pending_) {
-        if (payload.kind != PayloadKind::kModel) continue;
-        ml::RecModel& alien = alien_scratch(pool_index++);
-        alien.deserialize(payload.model_blob);
-        const double w = graph::metropolis_hastings_weight(
-            neighbors_.size(), payload.sender_degree);
-        sources.push_back(ml::MergeSource{&alien, w});
-        neighbor_weight_total += w;
-        counters_.merged_params += alien.parameter_count();
-        ++counters_.models_merged;
-      }
-      if (!sources.empty()) {
-        model_->merge(sources, 1.0 - neighbor_weight_total);
-      }
-    } else {
-      // RMW: pairwise averaging in arrival order ("upon receiving a model,
-      // a node averages it with its own", §III-C1).
-      for (auto& [src, payload] : pending_) {
-        if (payload.kind != PayloadKind::kModel) continue;
-        ml::RecModel& alien = alien_scratch(0);
-        alien.deserialize(payload.model_blob);
-        const ml::MergeSource source{&alien, 0.5};
-        model_->merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
-        counters_.merged_params += alien.parameter_count();
-        ++counters_.models_merged;
-      }
+    // Metropolis–Hastings weighted average over all received models
+    // (§III-C2); the self weight absorbs the remainder.
+    std::vector<ml::MergeSource> sources;
+    double neighbor_weight_total = 0.0;
+    std::size_t pool_index = 0;
+    for (PendingInput& input : round) {
+      const ProtocolPayload& payload = input.payload;
+      if (payload.kind != PayloadKind::kModel) continue;
+      ml::RecModel& alien = alien_scratch(pool_index++);
+      alien.deserialize(payload.model_blob);
+      const double w = graph::metropolis_hastings_weight(
+          neighbors_.size(), payload.sender_degree);
+      sources.push_back(ml::MergeSource{&alien, w});
+      neighbor_weight_total += w;
+      counters_.merged_params += alien.parameter_count();
+      ++counters_.models_merged;
+    }
+    if (!sources.empty()) {
+      model_->merge(sources, 1.0 - neighbor_weight_total);
+    }
+  } else {
+    // RMW: pairwise averaging in arrival order ("upon receiving a model,
+    // a node averages it with its own", §III-C1).
+    for (PendingInput& input : round) {
+      const ProtocolPayload& payload = input.payload;
+      if (payload.kind != PayloadKind::kModel) continue;
+      ml::RecModel& alien = alien_scratch(0);
+      alien.deserialize(payload.model_blob);
+      const ml::MergeSource source{&alien, 0.5};
+      model_->merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
+      counters_.merged_params += alien.parameter_count();
+      ++counters_.models_merged;
     }
   }
-  pending_.clear();
 }
 
 ml::RecModel& TrustedNode::alien_scratch(std::size_t index) {
@@ -341,9 +403,11 @@ std::size_t TrustedNode::memory_footprint() const {
   bytes += store_.capacity() * sizeof(data::Rating);
   bytes += store_index_.size() * 16;
   bytes += test_data_.capacity() * sizeof(data::Rating);
-  for (const auto& [src, payload] : pending_) {
-    bytes += payload.model_blob.size() +
-             payload.ratings.capacity() * sizeof(data::Rating);
+  for (const auto& [src, inputs] : pending_) {
+    for (const PendingInput& input : inputs) {
+      bytes += input.payload.model_blob.size() +
+               input.payload.ratings.capacity() * sizeof(data::Rating);
+    }
   }
   return bytes;
 }

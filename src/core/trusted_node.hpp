@@ -72,9 +72,14 @@ class TrustedNode {
   /// and — for D-PSGD — runs the epoch once all neighbors delivered.
   void ecall_input(NodeId src, BytesView blob);
 
-  /// Timer event: RMW trains every period regardless of arrivals (§III-C1).
-  /// For D-PSGD this is a barrier assertion only.
-  void ecall_tick();
+  /// Train-timer event: RMW trains every period regardless of arrivals
+  /// (§III-C1); the period itself (RexConfig::rmw_period_s) is scheduled by
+  /// the simulation engine. For D-PSGD this runs a pipeline catch-up epoch
+  /// if a full round is already buffered, else it is a no-op.
+  void ecall_train_due();
+
+  /// D-PSGD readiness: one (or more) buffered payloads from every neighbor.
+  [[nodiscard]] bool round_ready() const;
 
   // ===== Introspection (read by the simulator / tests) =====
 
@@ -129,8 +134,25 @@ class TrustedNode {
   std::unordered_set<std::uint64_t> store_index_;  // duplicate filter
   std::vector<data::Rating> test_data_;
 
-  /// Pending inputs for the current round, keyed by source.
-  std::map<NodeId, ProtocolPayload> pending_;
+  /// One buffered protocol input: the payload plus its arrival rank (the
+  /// order ecall_input saw it), so RMW can merge in true arrival order
+  /// (§III-C1) even when the event engine interleaves neighbors.
+  struct PendingInput {
+    ProtocolPayload payload;
+    std::uint64_t arrival = 0;
+  };
+
+  /// Pending inputs keyed by source, FIFO per neighbor. D-PSGD consumes one
+  /// payload per neighbor per round and admits at most two buffered (the
+  /// event-driven pipeline is provably one round deep; a third is a
+  /// duplicate send). RMW buffers every arrival since the last period —
+  /// a fast neighbor can legitimately deliver several times between two of
+  /// our train timers (§III-C1).
+  std::map<NodeId, std::vector<PendingInput>> pending_;
+  /// Highest epoch ever buffered per neighbor: rejects replays of epochs
+  /// that were already consumed (the slot alone cannot see those).
+  std::map<NodeId, std::uint64_t> epoch_watermarks_;
+  std::uint64_t arrival_counter_ = 0;
 
   std::uint64_t epoch_ = 0;
   bool initialized_ = false;

@@ -34,7 +34,7 @@ void UntrustedHost::start_attestation(const std::vector<NodeId>& neighbors) {
   trusted_->start_attestation(neighbors);
 }
 
-void UntrustedHost::on_receive(const net::Envelope& envelope) {
+void UntrustedHost::on_deliver(const net::Envelope& envelope) {
   REX_REQUIRE(envelope.dst == id_, "envelope delivered to the wrong host");
   switch (envelope.kind) {
     case net::MessageKind::kAttestation:
@@ -46,6 +46,6 @@ void UntrustedHost::on_receive(const net::Envelope& envelope) {
   }
 }
 
-void UntrustedHost::tick() { trusted_->ecall_tick(); }
+void UntrustedHost::on_train_due() { trusted_->ecall_train_due(); }
 
 }  // namespace rex::core

@@ -2,8 +2,11 @@
 //
 // Owns the enclave runtime and the trusted node, and proxies between the
 // network and the enclave: initialize -> read dataset / start network /
-// ecall_init; on_receive -> ecall_input; ocall_send -> transport. All I/O
-// stays on this side of the boundary (the paper's TCB discipline, §III-B).
+// ecall_init; on_deliver -> ecall_input; on_train_due -> ecall_train_due;
+// ocall_send -> transport. All I/O stays on this side of the boundary (the
+// paper's TCB discipline, §III-B). The entry points are the event
+// vocabulary of sim::SimEngine: one per scheduled event kind that can reach
+// a node.
 #pragma once
 
 #include <memory>
@@ -30,11 +33,15 @@ class UntrustedHost {
   /// Opens attestation sessions towards `neighbors` (pre-protocol phase).
   void start_attestation(const std::vector<NodeId>& neighbors);
 
-  /// Algorithm 1, on_receive: relays a network blob into the enclave.
-  void on_receive(const net::Envelope& envelope);
+  /// Deliver event: relays a network blob into the enclave (Algorithm 1's
+  /// receive loop). For D-PSGD the enclave runs the epoch on last arrival.
+  void on_deliver(const net::Envelope& envelope);
 
-  /// Periodic timer event driving RMW epochs.
-  void tick();
+  /// Train-timer event: RMW trains on its period (§III-C1) with whatever
+  /// arrived. For D-PSGD this runs a pipeline catch-up epoch when a full
+  /// round is already buffered, and is a no-op otherwise — so it must only
+  /// be scheduled when an epoch is actually due.
+  void on_train_due();
 
   [[nodiscard]] TrustedNode& trusted() { return *trusted_; }
   [[nodiscard]] const TrustedNode& trusted() const { return *trusted_; }

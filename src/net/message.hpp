@@ -23,6 +23,9 @@ struct Envelope {
   NodeId dst = 0;
   MessageKind kind = MessageKind::kProtocol;
   Bytes payload;
+  /// Transport bookkeeping (not on the wire): routing order stamp used to
+  /// merge sharded inboxes back into deterministic delivery order.
+  std::uint64_t arrival = 0;
 
   /// Bytes on the wire: payload plus the fixed header.
   [[nodiscard]] std::size_t wire_size() const {

@@ -21,35 +21,81 @@ void Transport::send(Envelope env) {
   outboxes_[env.src].push_back(std::move(env));
 }
 
+void Transport::record_send(const Envelope& env) {
+  const std::size_t wire = env.wire_size();
+  stats_[env.src].messages_sent++;
+  stats_[env.src].bytes_sent += wire;
+  epoch_stats_[env.src].messages_sent++;
+  epoch_stats_[env.src].bytes_sent += wire;
+}
+
+void Transport::record_delivery(const Envelope& env) {
+  const std::size_t wire = env.wire_size();
+  stats_[env.dst].messages_received++;
+  stats_[env.dst].bytes_received += wire;
+  epoch_stats_[env.dst].messages_received++;
+  epoch_stats_[env.dst].bytes_received += wire;
+}
+
 void Transport::flush_round() {
+  // Sender-major routing: each destination shard receives envelopes in
+  // nondecreasing sender order, which drain_inbox() relies on to merge the
+  // shards back into the global (sender id, send order) sequence.
   for (auto& outbox : outboxes_) {
     while (!outbox.empty()) {
       Envelope env = std::move(outbox.front());
       outbox.pop_front();
-      const std::size_t wire = env.wire_size();
-      stats_[env.src].messages_sent++;
-      stats_[env.src].bytes_sent += wire;
-      stats_[env.dst].messages_received++;
-      stats_[env.dst].bytes_received += wire;
-      epoch_stats_[env.src].messages_sent++;
-      epoch_stats_[env.src].bytes_sent += wire;
-      epoch_stats_[env.dst].messages_received++;
-      epoch_stats_[env.dst].bytes_received += wire;
-      inboxes_[env.dst].push_back(std::move(env));
+      record_send(env);
+      record_delivery(env);
+      env.arrival = next_arrival_++;
+      inboxes_[env.dst][env.src % kInboxShards].push_back(std::move(env));
     }
   }
 }
 
 std::vector<Envelope> Transport::drain_inbox(NodeId node) {
   check_node(node);
-  std::vector<Envelope> out(inboxes_[node].begin(), inboxes_[node].end());
-  inboxes_[node].clear();
+  InboxShards& shards = inboxes_[node];
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<Envelope> out;
+  out.reserve(total);
+  // K-way merge on the routing stamp: each shard is FIFO (stamps increase),
+  // so repeatedly taking the smallest front stamp reproduces the exact
+  // routing order — (flush batch, sender id, send order).
+  while (out.size() < total) {
+    std::size_t best = kInboxShards;
+    for (std::size_t s = 0; s < kInboxShards; ++s) {
+      if (shards[s].empty()) continue;
+      if (best == kInboxShards ||
+          shards[s].front().arrival < shards[best].front().arrival) {
+        best = s;
+      }
+    }
+    out.push_back(std::move(shards[best].front()));
+    shards[best].pop_front();
+  }
   return out;
 }
 
 std::size_t Transport::inbox_size(NodeId node) const {
   check_node(node);
-  return inboxes_[node].size();
+  std::size_t total = 0;
+  for (const auto& shard : inboxes_[node]) total += shard.size();
+  return total;
+}
+
+std::vector<Envelope> Transport::take_outbox(NodeId src) {
+  check_node(src);
+  std::deque<Envelope>& outbox = outboxes_[src];
+  std::vector<Envelope> out;
+  out.reserve(outbox.size());
+  while (!outbox.empty()) {
+    record_send(outbox.front());
+    out.push_back(std::move(outbox.front()));
+    outbox.pop_front();
+  }
+  return out;
 }
 
 const TrafficStats& Transport::stats(NodeId node) const {

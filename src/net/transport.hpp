@@ -1,14 +1,31 @@
-// In-process transport with per-node traffic accounting and round-barrier
-// delivery.
+// In-process transport with per-node traffic accounting, sharded mailboxes,
+// and two delivery disciplines.
 //
-// Decentralized REX runs synchronize on rounds (a node proceeds when it
-// heard from all neighbors — paper §III-D); the simulator therefore delivers
-// in two phases: sends during round r go to per-sender outboxes (no
-// contention under the node-parallel thread pool), and flush_round() routes
-// them into destination inboxes for round r+1 in deterministic (sender id,
-// send order) sequence.
+// Sends always go to per-sender outboxes (no contention under node-parallel
+// execution; a single sender never sends concurrently with itself). From
+// there, two paths drain them:
+//
+//   Barrier path (synchronous rounds, attestation): flush_round() routes
+//   every queued send into the destination's inbox shards in deterministic
+//   (sender id, send order) sequence and accounts traffic for both ends;
+//   drain_inbox() merges the shards back into that order, *moving* the
+//   envelopes out.
+//
+//   Event path (sim::SimEngine): take_outbox(src) moves a sender's queued
+//   envelopes out (accounting the send side); the engine schedules one
+//   Deliver event per envelope with per-edge simulated latency and calls
+//   record_delivery() at the delivery timestamp. Envelopes never touch the
+//   inboxes on this path — the engine hands them straight to the host.
+//
+// Inboxes are sharded by sender id modulo kInboxShards — groundwork for
+// concurrent per-edge delivery (senders mapping to distinct shards of one
+// destination could deliver in parallel). Today every writer is serialized
+// per destination: flush_round() is single-threaded and the engine hands
+// event-path envelopes straight to hosts, so the shards carry no locks;
+// the per-envelope arrival stamp keeps drained order deterministic.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <vector>
 
@@ -30,6 +47,9 @@ struct TrafficStats {
 
 class Transport {
  public:
+  /// Inbox shards per destination, keyed by sender id modulo this.
+  static constexpr std::size_t kInboxShards = 8;
+
   explicit Transport(std::size_t node_count);
 
   [[nodiscard]] std::size_t node_count() const { return outboxes_.size(); }
@@ -39,15 +59,33 @@ class Transport {
   /// concurrently with itself.
   void send(Envelope env);
 
-  /// Routes all queued sends into destination inboxes. Call at the round
-  /// barrier only (single-threaded).
+  // ===== Barrier path =====
+
+  /// Routes all queued sends into destination inbox shards. Call at the
+  /// round barrier only (single-threaded). Accounts sender and receiver
+  /// traffic in the current epoch window.
   void flush_round();
 
-  /// Removes and returns everything deliverable to `node`.
+  /// Removes and returns everything deliverable to `node`, merged across
+  /// shards back into (sender id, send order) sequence. Moves the
+  /// envelopes — payloads are not copied.
   [[nodiscard]] std::vector<Envelope> drain_inbox(NodeId node);
 
   /// Messages waiting for `node` (after flush_round()).
   [[nodiscard]] std::size_t inbox_size(NodeId node) const;
+
+  // ===== Event path =====
+
+  /// Moves out everything `src` queued since the last take, in send order,
+  /// accounting the send side of the traffic. The caller owns delivery.
+  [[nodiscard]] std::vector<Envelope> take_outbox(NodeId src);
+
+  /// Accounts the receive side for one envelope the engine is handing to
+  /// its destination host. Touches only env.dst's counters, so concurrent
+  /// calls for distinct destinations are safe.
+  void record_delivery(const Envelope& env);
+
+  // ===== Accounting =====
 
   [[nodiscard]] const TrafficStats& stats(NodeId node) const;
 
@@ -62,11 +100,15 @@ class Transport {
 
  private:
   void check_node(NodeId node) const;
+  void record_send(const Envelope& env);
+
+  using InboxShards = std::array<std::deque<Envelope>, kInboxShards>;
 
   std::vector<std::deque<Envelope>> outboxes_;  // indexed by sender
-  std::vector<std::deque<Envelope>> inboxes_;   // indexed by receiver
+  std::vector<InboxShards> inboxes_;            // indexed by receiver
   std::vector<TrafficStats> stats_;
   std::vector<TrafficStats> epoch_stats_;
+  std::uint64_t next_arrival_ = 0;  // routing order stamp (flush_round only)
 };
 
 }  // namespace rex::net

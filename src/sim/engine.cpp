@@ -1,0 +1,585 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace rex::sim {
+
+SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
+                     std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
+                     net::Transport& transport, const CostModel& cost_model,
+                     ThreadPool& pool, ExperimentResult& result, Config config)
+    : rex_(rex),
+      topology_(topology),
+      hosts_(hosts),
+      transport_(transport),
+      cost_model_(cost_model),
+      pool_(pool),
+      result_(result),
+      config_(config) {
+  const std::size_t n = hosts_.size();
+  REX_REQUIRE(n >= 1, "engine needs at least one node");
+  REX_REQUIRE(topology_.node_count() == n, "topology/hosts size mismatch");
+  nodes_.resize(n);
+  epochs_seen_.assign(n, 0);
+  traffic_marks_.assign(n, net::TrafficStats{});
+  jitter_rngs_.reserve(n);
+  Rng master(config_.seed ^ 0x0E7E27D21FE27ULL);  // independent jitter seed
+  for (std::size_t id = 0; id < n; ++id) {
+    jitter_rngs_.push_back(master.derive(id));
+    if (config_.dynamics.speed_lognormal_sigma > 0.0) {
+      nodes_[id].slowdown = std::exp(config_.dynamics.speed_lognormal_sigma *
+                                     jitter_rngs_[id].normal());
+    }
+  }
+}
+
+void SimEngine::require_initialized() const {
+  REX_REQUIRE(initialized_, "call initialize() before running epochs");
+}
+
+void SimEngine::schedule(SimTime time, core::NodeId node, EventKind kind,
+                         std::uint64_t* out_seq) {
+  Event event;
+  event.time = time;
+  event.seq = next_seq_++;
+  event.node = node;
+  event.kind = kind;
+  if (out_seq != nullptr) *out_seq = event.seq;
+  queue_.push(event);
+}
+
+void SimEngine::schedule_train(SimTime time, core::NodeId node) {
+  ++nodes_[node].trains_pending;
+  schedule(time, node, EventKind::kTrain);
+}
+
+double SimEngine::epoch_slowdown(core::NodeId id) {
+  double factor = nodes_[id].slowdown;
+  const NodeDynamics& dyn = config_.dynamics;
+  if (dyn.straggler_probability > 0.0) {
+    Rng& rng = jitter_rngs_[id];
+    if (rng.bernoulli(dyn.straggler_probability)) {
+      factor *= std::exp(dyn.straggler_lognormal_sigma *
+                         std::abs(rng.normal()));
+    }
+  }
+  return factor;
+}
+
+// ===== Attestation (pre-protocol phase, §III-A) =====
+
+void SimEngine::run_attestation() {
+  if (rex_.security == enclave::SecurityMode::kNative) return;
+  const std::size_t n = hosts_.size();
+  for (core::NodeId id = 0; id < n; ++id) {
+    std::vector<core::NodeId> neighbors(topology_.neighbors(id).begin(),
+                                        topology_.neighbors(id).end());
+    hosts_[id]->start_attestation(neighbors);
+  }
+  // The 3-message handshake needs 3 delivery steps; allow slack for odd
+  // schedules, then verify. Each step is one kAttestStep event; the clock
+  // does not advance (attestation precedes simulated time in both modes).
+  constexpr std::size_t kMaxSteps = 8;
+  schedule(clock_, 0, EventKind::kAttestStep);
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    REX_CHECK(event.kind == EventKind::kAttestStep,
+              "non-attestation event before initialize()");
+    ++events_processed_;
+    transport_.flush_round();
+    bool any_delivered = false;
+    for (core::NodeId id = 0; id < n; ++id) {
+      for (const net::Envelope& env : transport_.drain_inbox(id)) {
+        hosts_[id]->on_deliver(env);
+        any_delivered = true;
+      }
+    }
+    ++attestation_rounds_;
+    if (any_delivered && attestation_rounds_ < kMaxSteps) {
+      schedule(clock_, 0, EventKind::kAttestStep);
+    }
+  }
+  transport_.flush_round();  // deliver stragglers of the final step
+  for (core::NodeId id = 0; id < n; ++id) {
+    for (const net::Envelope& env : transport_.drain_inbox(id)) {
+      hosts_[id]->on_deliver(env);
+    }
+  }
+  for (core::NodeId id = 0; id < n; ++id) {
+    REX_REQUIRE(hosts_[id]->trusted().fully_attested(),
+                "mutual attestation failed for node " + std::to_string(id));
+  }
+}
+
+// ===== Epoch 0 =====
+
+void SimEngine::initialize(std::vector<data::NodeShard> shards) {
+  REX_REQUIRE(!initialized_, "engine already initialized");
+  const std::size_t n = hosts_.size();
+  REX_REQUIRE(shards.size() == n, "one shard per node required");
+  transport_.reset_epoch_stats();
+  // Uniform per-node cost: static block split (parallel_for) is enough.
+  pool_.parallel_for(n, [&](std::size_t id) {
+    hosts_[id]->runtime().reset_epoch_counters();
+    core::TrustedInit init;
+    init.local_train = std::move(shards[id].train);
+    init.local_test = std::move(shards[id].test);
+    init.neighbors.assign(
+        topology_.neighbors(static_cast<core::NodeId>(id)).begin(),
+        topology_.neighbors(static_cast<core::NodeId>(id)).end());
+    hosts_[id]->initialize(std::move(init));
+    ++nodes_[id].events_processed;
+  });
+  events_processed_ += n;
+  if (config_.mode == EngineMode::kBarrier) {
+    transport_.flush_round();
+    collect_round_record();
+  } else {
+    // Event mode: every node starts epoch 0 on its own timeline at t = 0.
+    // Attestation traffic stays out of the epoch accounting.
+    for (core::NodeId id = 0; id < n; ++id) {
+      traffic_marks_[id] = transport_.stats(id);
+    }
+    for (core::NodeId id = 0; id < n; ++id) {
+      post_epoch(id, SimTime{0.0});
+    }
+  }
+  initialized_ = true;
+}
+
+// ===== Barrier mode =====
+
+void SimEngine::run_barrier_round() {
+  // One synchronized round == one batch of same-timestamp kTrain events,
+  // one per node, executed concurrently: deliveries from round r-1 are
+  // drained at the barrier, D-PSGD runs its epoch on the last arrival, RMW
+  // trains because the round *is* its period.
+  const std::size_t n = hosts_.size();
+  transport_.reset_epoch_stats();
+  // Every node does one epoch of comparable cost: static block split.
+  pool_.parallel_for(n, [&](std::size_t id) {
+    hosts_[id]->runtime().reset_epoch_counters();
+    for (const net::Envelope& env :
+         transport_.drain_inbox(static_cast<core::NodeId>(id))) {
+      hosts_[id]->on_deliver(env);
+    }
+    if (rex_.algorithm == core::Algorithm::kRmw) {
+      hosts_[id]->on_train_due();
+    }
+    ++nodes_[id].events_processed;
+  });
+  events_processed_ += n;
+  transport_.flush_round();
+  collect_round_record();
+}
+
+void SimEngine::collect_round_record() {
+  const std::size_t n = hosts_.size();
+  RoundRecord record;
+  record.epoch = result_.rounds.size();
+  record.nodes_reporting = n;
+
+  SimTime slowest;
+  double rmse_sum = 0.0, bytes_sum = 0.0, mem_sum = 0.0, store_sum = 0.0;
+  record.min_rmse = std::numeric_limits<double>::infinity();
+  for (core::NodeId id = 0; id < n; ++id) {
+    const core::UntrustedHost& host = *hosts_[id];
+    const core::EpochCounters& c = host.trusted().last_epoch();
+    StageTimes stages = cost_model_.stage_times(host);
+    if (config_.dynamics.heterogeneous()) {
+      // Same per-node draw sequence as the event engine, so barrier-vs-async
+      // comparisons see the same straggler realizations.
+      const double factor = epoch_slowdown(id);
+      stages.merge = stages.merge * factor;
+      stages.train = stages.train * factor;
+      stages.share = stages.share * factor;
+      stages.test = stages.test * factor;
+    }
+    ++nodes_[id].epochs_done;
+
+    slowest = std::max(slowest, stages.total());
+    record.mean_stages.merge += stages.merge;
+    record.mean_stages.train += stages.train;
+    record.mean_stages.share += stages.share;
+    record.mean_stages.test += stages.test;
+    record.max_stages.merge = std::max(record.max_stages.merge, stages.merge);
+    record.max_stages.train = std::max(record.max_stages.train, stages.train);
+    record.max_stages.share = std::max(record.max_stages.share, stages.share);
+    record.max_stages.test = std::max(record.max_stages.test, stages.test);
+
+    rmse_sum += c.rmse;
+    record.min_rmse = std::min(record.min_rmse, c.rmse);
+    record.max_rmse = std::max(record.max_rmse, c.rmse);
+    const net::TrafficStats& traffic = transport_.epoch_stats(id);
+    bytes_sum += static_cast<double>(traffic.bytes_total());
+    const double memory =
+        static_cast<double>(host.runtime().stats().resident_bytes);
+    mem_sum += memory;
+    record.max_memory_bytes = std::max(record.max_memory_bytes, memory);
+    store_sum += static_cast<double>(c.store_size);
+    record.duplicates_dropped += c.duplicates_dropped;
+  }
+  if (record.min_rmse > record.max_rmse) {
+    record.min_rmse = record.max_rmse;  // no nodes reported: never leak +inf
+  }
+  const double dn = static_cast<double>(n);
+  record.mean_rmse = rmse_sum / dn;
+  record.mean_bytes_in_out = bytes_sum / dn;
+  record.mean_stages.merge = SimTime{record.mean_stages.merge.seconds / dn};
+  record.mean_stages.train = SimTime{record.mean_stages.train.seconds / dn};
+  record.mean_stages.share = SimTime{record.mean_stages.share.seconds / dn};
+  record.mean_stages.test = SimTime{record.mean_stages.test.seconds / dn};
+  record.mean_memory_bytes = mem_sum / dn;
+  record.mean_store_size = store_sum / dn;
+
+  record.round_time = slowest + cost_model_.round_latency();
+  clock_ += record.round_time;
+  record.cumulative_time = clock_;
+  result_.rounds.push_back(record);
+}
+
+// ===== Event mode =====
+
+void SimEngine::apply_event_math(const Event& event) {
+  NodeStatus& status = nodes_[event.node];
+  ++status.events_processed;
+  switch (event.kind) {
+    case EventKind::kDeliver: {
+      const auto it = in_flight_.find(event.seq);
+      REX_CHECK(it != in_flight_.end(), "deliver event without envelope");
+      if (!status.online && event.time >= status.offline_since) {
+        ++status.deliveries_dropped;  // lost to churn
+        return;
+      }
+      transport_.record_delivery(it->second);
+      hosts_[event.node]->on_deliver(it->second);
+      return;
+    }
+    case EventKind::kTrain: {
+      --status.trains_pending;     // this timer left the queue
+      if (!status.online) return;  // churned: kChurnUp restarts the timer
+      if (rex_.algorithm == core::Algorithm::kDpsgd &&
+          hosts_[event.node]->trusted().epochs_completed() >
+              epochs_seen_[event.node]) {
+        // A delivery in this same batch already ran an epoch; running the
+        // catch-up now would fold two epochs into one metrics record.
+        // post_epoch reschedules it if the next round is still buffered.
+        return;
+      }
+      // RMW: the period timer. D-PSGD: a pipeline catch-up epoch if a full
+      // round is already buffered (no-op otherwise).
+      hosts_[event.node]->on_train_due();
+      return;
+    }
+    // Pure scheduling/bookkeeping events: handled in the serial phase.
+    case EventKind::kShare:
+    case EventKind::kTest:
+    case EventKind::kChurnUp:
+    case EventKind::kAttestStep:
+      return;
+  }
+}
+
+void SimEngine::serial_event_hook(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kDeliver:
+      in_flight_.erase(event.seq);
+      return;
+    case EventKind::kShare: {
+      const auto it = share_batches_.find(event.seq);
+      REX_CHECK(it != share_batches_.end(), "share event without batch");
+      for (net::Envelope& env : it->second) {
+        // Per-edge delivery: each envelope propagates independently.
+        const SimTime deliver_at = event.time + cost_model_.round_latency();
+        std::uint64_t seq = 0;
+        schedule(deliver_at, env.dst, EventKind::kDeliver, &seq);
+        in_flight_.emplace(seq, std::move(env));
+      }
+      share_batches_.erase(it);
+      return;
+    }
+    case EventKind::kTest: {
+      const auto it = pending_epochs_.find(event.seq);
+      REX_CHECK(it != pending_epochs_.end(), "test event without epoch");
+      const PendingEpoch& pe = it->second;
+      NodeStatus& status = nodes_[event.node];
+      ++status.epochs_done;
+
+      const std::size_t epoch = static_cast<std::size_t>(pe.counters.epoch);
+      if (buckets_.size() <= epoch) buckets_.resize(epoch + 1);
+      EpochBucket& bucket = buckets_[epoch];
+      const bool first = bucket.contributors == 0;
+      ++bucket.contributors;
+      bucket.rmse_sum += pe.counters.rmse;
+      bucket.rmse_min =
+          first ? pe.counters.rmse : std::min(bucket.rmse_min, pe.counters.rmse);
+      bucket.rmse_max = std::max(bucket.rmse_max, pe.counters.rmse);
+      bucket.stage_sum.merge += pe.stages.merge;
+      bucket.stage_sum.train += pe.stages.train;
+      bucket.stage_sum.share += pe.stages.share;
+      bucket.stage_sum.test += pe.stages.test;
+      bucket.stage_max.merge = std::max(bucket.stage_max.merge, pe.stages.merge);
+      bucket.stage_max.train = std::max(bucket.stage_max.train, pe.stages.train);
+      bucket.stage_max.share = std::max(bucket.stage_max.share, pe.stages.share);
+      bucket.stage_max.test = std::max(bucket.stage_max.test, pe.stages.test);
+
+      const net::TrafficStats& cumulative = transport_.stats(event.node);
+      net::TrafficStats& mark = traffic_marks_[event.node];
+      bucket.bytes_sum +=
+          static_cast<double>(cumulative.bytes_total() - mark.bytes_total());
+      mark = cumulative;
+
+      const double memory = static_cast<double>(
+          hosts_[event.node]->runtime().stats().resident_bytes);
+      bucket.mem_sum += memory;
+      bucket.mem_max = std::max(bucket.mem_max, memory);
+      bucket.store_sum += static_cast<double>(pe.counters.store_size);
+      bucket.duplicates += pe.counters.duplicates_dropped;
+      bucket.duration_sum += pe.end - pe.start;
+      bucket.last_end = std::max(bucket.last_end, pe.end);
+      pending_epochs_.erase(it);
+      return;
+    }
+    case EventKind::kChurnUp: {
+      NodeStatus& status = nodes_[event.node];
+      status.online = true;
+      // Restart the node's training only if no timer survived the outage —
+      // a still-queued one keeps its chain, and doubling it would break the
+      // period semantics.
+      if (status.trains_pending == 0 &&
+          (rex_.algorithm == core::Algorithm::kRmw ||
+           hosts_[event.node]->trusted().round_ready())) {
+        schedule_train(event.time, event.node);
+      }
+      return;
+    }
+    case EventKind::kTrain:
+    case EventKind::kAttestStep:
+      return;  // math-phase / pre-protocol events: nothing to do here
+  }
+}
+
+void SimEngine::post_epoch(core::NodeId id, SimTime start) {
+  core::UntrustedHost& host = *hosts_[id];
+  NodeStatus& status = nodes_[id];
+
+  const double factor = epoch_slowdown(id);
+  StageTimes stages = cost_model_.stage_times(host);
+  stages.merge = stages.merge * factor;
+  stages.train = stages.train * factor;
+  stages.share = stages.share * factor;
+  stages.test = stages.test * factor;
+
+  const SimTime begin = std::max(start, status.busy_until);
+  const SimTime share_release =
+      begin + stages.merge + stages.train + stages.share;
+  const SimTime end = share_release + stages.test;
+  status.busy_until = end;
+
+  // Shares queued during the protocol run hit the wire when the share
+  // stage completes; each envelope then propagates per edge.
+  std::vector<net::Envelope> outbox = transport_.take_outbox(id);
+  if (!outbox.empty()) {
+    std::uint64_t seq = 0;
+    schedule(share_release, id, EventKind::kShare, &seq);
+    share_batches_.emplace(seq, std::move(outbox));
+  }
+
+  {
+    std::uint64_t seq = 0;
+    schedule(end, id, EventKind::kTest, &seq);
+    PendingEpoch pe;
+    pe.counters = host.trusted().last_epoch();
+    pe.stages = stages;
+    pe.start = begin;
+    pe.end = end;
+    pending_epochs_.emplace(seq, std::move(pe));
+  }
+
+  host.runtime().reset_epoch_counters();
+  // Two protocol runs can land in one same-timestamp batch on rare exact
+  // time ties (catch-up train + last arrival). Their metrics fold into this
+  // one record; count the folded epochs so run_epochs targets stay exact.
+  const std::uint64_t completed = host.trusted().epochs_completed();
+  const std::uint64_t delta = completed - epochs_seen_[id];
+  if (delta > 1) {
+    status.epochs_done += delta - 1;
+    status.epochs_folded += delta - 1;
+  }
+  epochs_seen_[id] = completed;
+
+  // RMW trains on its period (a real timer); 0 = self-paced back-to-back.
+  if (rex_.algorithm == core::Algorithm::kRmw) {
+    const double period = rex_.rmw_period_s;
+    const SimTime next =
+        period > 0.0 ? std::max(start + SimTime{period}, end) : end;
+    schedule_train(next, id);
+  } else if (status.trains_pending == 0 && host.trusted().round_ready()) {
+    // D-PSGD pipeline catch-up: the next round is fully buffered already,
+    // so no further arrival will trigger it — train when the node frees up.
+    schedule_train(end, id);
+  }
+
+  // Churn: the node may drop offline when this epoch ends. Marked now
+  // (only event times decide behavior) with the outage starting at `end`,
+  // so deliveries landing while the node still computes are accepted. A
+  // node already in an outage (this epoch was completed by an in-flight
+  // delivery) keeps its current outage window — no overlapping draws.
+  const NodeDynamics& dyn = config_.dynamics;
+  if (dyn.churning() && status.online &&
+      jitter_rngs_[id].bernoulli(dyn.churn_probability)) {
+    status.online = false;
+    status.offline_since = end;
+    const double u = jitter_rngs_[id].uniform01();
+    const SimTime downtime{-std::log(1.0 - u) * dyn.churn_downtime_s};
+    // The node computes nothing during the outage: an epoch triggered by a
+    // delivery that slipped in before the outage is placed after recovery
+    // (its math already ran, but its simulated start, shares and record
+    // wait for the node to come back).
+    status.busy_until = std::max(status.busy_until, end + downtime);
+    schedule(end + downtime, id, EventKind::kChurnUp);
+  }
+}
+
+bool SimEngine::process_next_batch() {
+  if (queue_.empty()) return false;
+  const SimTime t = queue_.top().time;
+  std::vector<Event> batch;
+  while (!queue_.empty() && queue_.top().time == t) {
+    batch.push_back(queue_.top());
+    queue_.pop();
+  }
+  clock_ = std::max(clock_, t);
+  events_processed_ += batch.size();
+
+  // Parallel math phase: group by node (nodes own disjoint state), one
+  // work-stealing shard per node, events within a node in seq order.
+  std::vector<std::vector<const Event*>> groups;
+  std::unordered_map<core::NodeId, std::size_t> group_of;
+  for (const Event& event : batch) {  // batch is already seq-sorted
+    const auto [it, inserted] =
+        group_of.try_emplace(event.node, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(&event);
+  }
+  pool_.parallel_shards(groups.size(), [&](std::size_t g) {
+    for (const Event* event : groups[g]) apply_event_math(*event);
+  });
+
+  // Serial scheduling phase: event hooks in seq order, then completed
+  // protocol runs in node-id order — deterministic regardless of threads.
+  // Only nodes that processed an event this batch can have completed an
+  // epoch, so sweep those, not all n (batches are usually a single event).
+  for (const Event& event : batch) serial_event_hook(event);
+  std::vector<core::NodeId> batch_nodes;
+  batch_nodes.reserve(groups.size());
+  for (const auto& group : groups) batch_nodes.push_back(group.front()->node);
+  std::sort(batch_nodes.begin(), batch_nodes.end());
+  for (const core::NodeId id : batch_nodes) {
+    if (hosts_[id]->trusted().epochs_completed() > epochs_seen_[id]) {
+      post_epoch(id, t);
+    }
+  }
+  return true;
+}
+
+void SimEngine::run_epochs(std::size_t epochs) {
+  require_initialized();
+  if (config_.mode == EngineMode::kBarrier) {
+    for (std::size_t e = 0; e < epochs; ++e) run_barrier_round();
+    return;
+  }
+  const std::size_t n = hosts_.size();
+  // First call: epochs + 1 total (epoch 0 is scheduled but not recorded
+  // yet) — the same count a barrier run of `epochs` rounds after
+  // initialize() produces; the max() keeps "epochs further" correct when a
+  // run_until() already recorded some. Later calls extend the target.
+  if (epoch_targets_.empty()) {
+    epoch_targets_.resize(n);
+    for (std::size_t id = 0; id < n; ++id) {
+      epoch_targets_[id] =
+          std::max<std::uint64_t>(epochs + 1, nodes_[id].epochs_done + epochs);
+    }
+  } else {
+    for (std::uint64_t& target : epoch_targets_) target += epochs;
+  }
+  // Runaway guard: orders of magnitude above any legitimate schedule.
+  const std::uint64_t cap =
+      events_processed_ + 1'000'000 +
+      static_cast<std::uint64_t>(epochs) * n * 1000;
+  const auto all_reached = [&] {
+    for (std::size_t id = 0; id < n; ++id) {
+      if (nodes_[id].epochs_done < epoch_targets_[id]) return false;
+    }
+    return true;
+  };
+  while (!all_reached()) {
+    REX_REQUIRE(events_processed_ < cap,
+                "event engine runaway: check period/churn configuration");
+    if (!process_next_batch()) {
+      // Queue drained before the targets were met — e.g. a D-PSGD
+      // neighborhood stalled on deliveries lost to churn. Results are
+      // truncated; say so rather than letting a sweep plot them silently.
+      REX_LOG_WARN(
+          "event engine stalled before epoch target: queue drained at "
+          "t=%.6fs (results truncated)",
+          clock_.seconds);
+      break;
+    }
+  }
+  finalize_async_records();
+}
+
+void SimEngine::run_until(SimTime horizon) {
+  require_initialized();
+  if (config_.mode == EngineMode::kBarrier) {
+    while (clock_ < horizon) run_barrier_round();
+    return;
+  }
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    process_next_batch();
+  }
+  finalize_async_records();
+}
+
+void SimEngine::finalize_async_records() {
+  result_.rounds.clear();
+  SimTime completed_by;  // running max: keeps the time axis monotone
+  for (std::size_t epoch = 0; epoch < buckets_.size(); ++epoch) {
+    const EpochBucket& bucket = buckets_[epoch];
+    if (bucket.contributors == 0) continue;
+    const double dn = static_cast<double>(bucket.contributors);
+    RoundRecord record;
+    record.epoch = epoch;
+    record.nodes_reporting = bucket.contributors;
+    record.mean_rmse = bucket.rmse_sum / dn;
+    record.min_rmse = bucket.rmse_min;
+    record.max_rmse = bucket.rmse_max;
+    record.mean_bytes_in_out = bucket.bytes_sum / dn;
+    record.mean_stages.merge = SimTime{bucket.stage_sum.merge.seconds / dn};
+    record.mean_stages.train = SimTime{bucket.stage_sum.train.seconds / dn};
+    record.mean_stages.share = SimTime{bucket.stage_sum.share.seconds / dn};
+    record.mean_stages.test = SimTime{bucket.stage_sum.test.seconds / dn};
+    record.max_stages = bucket.stage_max;
+    record.mean_memory_bytes = bucket.mem_sum / dn;
+    record.max_memory_bytes = bucket.mem_max;
+    record.mean_store_size = bucket.store_sum / dn;
+    record.duplicates_dropped = bucket.duplicates;
+    record.round_time = SimTime{bucket.duration_sum.seconds / dn};
+    // The time by which this epoch index was complete across all reporting
+    // nodes. A slow node's late epoch e can outlast fast nodes' epoch e+1,
+    // so take a running max to keep total_time()/time_to_reach() on a
+    // monotone axis.
+    completed_by = std::max(completed_by, bucket.last_end);
+    record.cumulative_time = completed_by;
+    result_.rounds.push_back(record);
+  }
+}
+
+}  // namespace rex::sim

@@ -1,0 +1,234 @@
+// Event-driven simulation engine.
+//
+// Replaces the fixed barrier loop as the core of the simulation stack: a
+// deterministic simulated-time priority queue of per-node events (deliver,
+// train, share, test, attest-step, churn-up) driven by the CostModel, so
+// each node advances at its own simulated speed instead of waiting on the
+// slowest peer. Two scheduling disciplines:
+//
+//   kBarrier      the paper's synchronized rounds (§III-D). Each round is
+//                 one batch of same-timestamp kTrain events, one per node,
+//                 executed concurrently; the round clock advances by the
+//                 slowest node's stage total plus one propagation latency.
+//                 Metrics are bit-identical to the historical
+//                 `deliver_and_run_round` loop for the same seed.
+//
+//   kEventDriven  fully asynchronous. A node's protocol run is placed on
+//                 its own timeline: the epoch starts when its trigger event
+//                 fires (RMW: the period timer, §III-C1; D-PSGD: the last
+//                 neighbor delivery), shares hit the wire when the node's
+//                 share stage completes, and every envelope is delivered
+//                 per edge after the link latency. Per-node speed factors,
+//                 log-normal stragglers and churn (NodeDynamics) make
+//                 heterogeneous deployments expressible — fast nodes simply
+//                 complete more epochs.
+//
+// Determinism: all event processing at one timestamp is split into a
+// parallel math phase over per-node batches (nodes own disjoint state;
+// ThreadPool::parallel_shards) and a single-threaded scheduling phase that
+// visits nodes in id order — so event sequence numbers, RNG draws, and
+// therefore entire ExperimentResults are identical for a given seed
+// regardless of worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/untrusted_host.hpp"
+#include "data/partition.hpp"
+#include "graph/graph.hpp"
+#include "net/transport.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rex::sim {
+
+enum class EngineMode {
+  kBarrier,      // synchronized rounds (paper §III-D); the default
+  kEventDriven,  // per-node timelines over the event queue
+};
+
+/// Heterogeneity and failure knobs for event-driven runs (all inert at
+/// their defaults; the barrier engine honors the speed/straggler knobs when
+/// computing round times so barrier-vs-async comparisons are fair).
+struct NodeDynamics {
+  /// Log-normal sigma of the static per-node slowdown factor (0 = all nodes
+  /// identical). A node's compute stages are scaled by exp(sigma * N(0,1)).
+  double speed_lognormal_sigma = 0.0;
+  /// Per-epoch probability that a node straggles for that epoch.
+  double straggler_probability = 0.0;
+  /// Log-normal sigma of the per-epoch straggler slowdown multiplier
+  /// exp(sigma * |N(0,1)|) >= 1.
+  double straggler_lognormal_sigma = 1.0;
+  /// Per-epoch probability that a node drops offline after finishing an
+  /// epoch (event-driven runs only). Deliveries to an offline node are lost.
+  double churn_probability = 0.0;
+  /// Mean offline duration in simulated seconds (exponential).
+  double churn_downtime_s = 0.0;
+
+  [[nodiscard]] bool heterogeneous() const {
+    return speed_lognormal_sigma > 0.0 || straggler_probability > 0.0;
+  }
+  [[nodiscard]] bool churning() const { return churn_probability > 0.0; }
+};
+
+class SimEngine {
+ public:
+  struct Config {
+    EngineMode mode = EngineMode::kBarrier;
+    NodeDynamics dynamics;
+    std::uint64_t seed = 1;
+  };
+
+  /// Per-node engine-side state, exposed for tests and benches.
+  struct NodeStatus {
+    double slowdown = 1.0;           // static speed factor (duration scale)
+    bool online = true;
+    SimTime busy_until;
+    std::uint64_t epochs_done = 0;   // kTest events processed
+    std::uint64_t events_processed = 0;
+    std::uint64_t deliveries_dropped = 0;  // lost to churn
+    std::uint32_t trains_pending = 0;      // kTrain events in the queue
+    /// Epochs whose metrics were folded into the next record because two
+    /// protocol runs landed in one same-timestamp batch (rare exact ties;
+    /// counted so epoch targets stay consistent).
+    std::uint64_t epochs_folded = 0;
+    /// Start of the current outage (valid while !online): churn takes
+    /// effect when the churning epoch *ends*, so deliveries that arrive
+    /// while the node is still simulated-computing are not dropped.
+    SimTime offline_since;
+  };
+
+  /// The engine borrows everything: the Simulator (or a test rig) owns the
+  /// hosts, transport, topology, cost model, pool and result sink, which
+  /// must outlive the engine.
+  SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
+            std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
+            net::Transport& transport, const CostModel& cost_model,
+            ThreadPool& pool, ExperimentResult& result, Config config);
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Pre-protocol mutual attestation (no-op in native mode): one
+  /// kAttestStep event per delivery step until the handshakes quiesce.
+  /// Throws if any pair fails to attest within a bounded number of steps.
+  void run_attestation();
+
+  /// ecall_init on every node (epoch 0: first local training + share).
+  void initialize(std::vector<data::NodeShard> shards);
+
+  /// Barrier mode: runs `epochs` synchronized rounds after epoch 0. Event
+  /// mode: pumps the queue until every node completed `epochs` epochs
+  /// beyond its target at the previous call (epoch 0 included in the first
+  /// call's target, matching the barrier's epoch count; fast nodes
+  /// overshoot — that is the point).
+  void run_epochs(std::size_t epochs);
+
+  /// Event mode: pumps the queue until the next event would be later than
+  /// `horizon`. (Barrier mode: rounds until the clock passes `horizon`.)
+  void run_until(SimTime horizon);
+
+  [[nodiscard]] EngineMode mode() const { return config_.mode; }
+  [[nodiscard]] SimTime now() const { return clock_; }
+  [[nodiscard]] std::size_t attestation_rounds() const {
+    return attestation_rounds_;
+  }
+  [[nodiscard]] const NodeStatus& node_status(core::NodeId id) const {
+    return nodes_.at(id);
+  }
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+ private:
+  // ===== shared =====
+  void require_initialized() const;
+  void schedule(SimTime time, core::NodeId node, EventKind kind,
+                std::uint64_t* out_seq = nullptr);
+  /// schedule(kTrain) + the per-node pending-timer count that keeps churn
+  /// recovery from spawning parallel timer chains.
+  void schedule_train(SimTime time, core::NodeId node);
+  /// Duration multiplier for one node epoch: static slowdown x straggler
+  /// draw (one draw sequence per node per epoch, identical in both modes).
+  [[nodiscard]] double epoch_slowdown(core::NodeId id);
+  void collect_round_record();
+
+  // ===== barrier mode =====
+  void run_barrier_round();
+
+  // ===== event mode =====
+  /// Pops and executes every event at the earliest queued timestamp:
+  /// parallel per-node math phase, then serial scheduling phase in node-id
+  /// order. Returns false when the queue is empty.
+  bool process_next_batch();
+  /// Math side of one event (runs inside the parallel phase).
+  void apply_event_math(const Event& event);
+  /// Post-math bookkeeping for a node that completed a protocol run at
+  /// `start`: capture counters, stage times and queued shares; schedule the
+  /// kShare and kTest events; for RMW, schedule the next train timer.
+  void post_epoch(core::NodeId id, SimTime start);
+  void serial_event_hook(const Event& event);
+  void finalize_async_records();
+
+  /// One completed node epoch awaiting its kTest timestamp.
+  struct PendingEpoch {
+    core::EpochCounters counters;
+    StageTimes stages;  // already scaled by the epoch's slowdown
+    SimTime start;
+    SimTime end;
+  };
+  /// Per-epoch-index aggregation bucket for async records.
+  struct EpochBucket {
+    std::size_t contributors = 0;
+    double rmse_sum = 0.0;
+    double rmse_min = 0.0;
+    double rmse_max = 0.0;
+    StageTimes stage_sum;
+    StageTimes stage_max;
+    double bytes_sum = 0.0;
+    double mem_sum = 0.0;
+    double mem_max = 0.0;
+    double store_sum = 0.0;
+    std::uint64_t duplicates = 0;
+    SimTime duration_sum;
+    SimTime last_end;
+  };
+
+  const core::RexConfig& rex_;
+  const graph::Graph& topology_;
+  std::vector<std::unique_ptr<core::UntrustedHost>>& hosts_;
+  net::Transport& transport_;
+  const CostModel& cost_model_;
+  ThreadPool& pool_;
+  ExperimentResult& result_;
+  Config config_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  SimTime clock_;
+  std::size_t attestation_rounds_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool initialized_ = false;
+
+  std::vector<NodeStatus> nodes_;
+  std::vector<Rng> jitter_rngs_;        // one independent stream per node
+  std::vector<std::uint64_t> epochs_seen_;  // math-time epoch watermark
+  std::vector<std::uint64_t> epoch_targets_;  // run_epochs() goals per node
+  std::vector<net::TrafficStats> traffic_marks_;
+
+  std::unordered_map<std::uint64_t, net::Envelope> in_flight_;   // kDeliver
+  std::unordered_map<std::uint64_t, std::vector<net::Envelope>>
+      share_batches_;                                            // kShare
+  std::unordered_map<std::uint64_t, PendingEpoch> pending_epochs_;  // kTest
+  std::vector<EpochBucket> buckets_;
+};
+
+}  // namespace rex::sim

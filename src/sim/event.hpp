@@ -1,0 +1,60 @@
+// Simulation events: the vocabulary of sim::SimEngine.
+//
+// Every state change in an event-driven run is one of these, ordered by a
+// deterministic (simulated time, schedule sequence) key. The schedule
+// sequence is assigned in a single-threaded scheduling phase that visits
+// nodes in id order, so ties at the same simulated timestamp break the same
+// way on every run regardless of worker-thread count (seeded tie-breaking,
+// DESIGN.md §4 "Determinism").
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "support/sim_clock.hpp"
+
+namespace rex::sim {
+
+enum class EventKind : std::uint8_t {
+  kDeliver,     // one envelope reaches its destination host (per-edge latency)
+  kTrain,       // a node's train timer fires (RMW period / barrier round)
+  kShare,       // a node's queued shares hit the wire (schedules kDeliver)
+  kTest,        // a node's epoch completes: metrics bookkeeping
+  kAttestStep,  // one pre-protocol attestation delivery step
+  kChurnUp,     // a churned node comes back online
+};
+
+[[nodiscard]] inline const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kTrain: return "train";
+    case EventKind::kShare: return "share";
+    case EventKind::kTest: return "test";
+    case EventKind::kAttestStep: return "attest";
+    case EventKind::kChurnUp: return "churn-up";
+  }
+  return "?";
+}
+
+struct Event {
+  SimTime time;
+  std::uint64_t seq = 0;  // schedule order: the deterministic tie-break
+  net::NodeId node = 0;
+  EventKind kind = EventKind::kTrain;
+
+  /// Earliest time first; FIFO schedule order on ties.
+  [[nodiscard]] bool before(const Event& other) const {
+    if (!(time == other.time)) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+/// Comparator turning std::priority_queue (a max-heap) into a min-heap on
+/// (time, seq).
+struct EventAfter {
+  [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+    return b.before(a);
+  }
+};
+
+}  // namespace rex::sim

@@ -99,8 +99,9 @@ ScenarioInputs prepare_scenario(const Scenario& scenario) {
   return inputs;
 }
 
-ExperimentResult run_scenario(const Scenario& scenario) {
-  ScenarioInputs inputs = prepare_scenario(scenario);
+Simulator make_scenario_simulator(const Scenario& scenario,
+                                  ScenarioInputs& inputs) {
+  inputs = prepare_scenario(scenario);
   Simulator::Setup setup;
   setup.topology = &inputs.topology;
   setup.shards = std::move(inputs.shards);
@@ -110,10 +111,16 @@ ExperimentResult run_scenario(const Scenario& scenario) {
   setup.costs = scenario.costs;
   setup.threads = scenario.threads;
   setup.platforms = scenario.platforms;
+  setup.engine = scenario.engine_mode;
+  setup.dynamics = scenario.dynamics;
   setup.label =
       scenario.label.empty() ? scenario_label(scenario) : scenario.label;
+  return Simulator(std::move(setup));
+}
 
-  Simulator simulator(std::move(setup));
+ExperimentResult run_scenario(const Scenario& scenario) {
+  ScenarioInputs inputs;
+  Simulator simulator = make_scenario_simulator(scenario, inputs);
   simulator.run(scenario.epochs);
   return simulator.result();
 }

@@ -75,6 +75,12 @@ struct Scenario {
   CostParams costs;
   std::size_t platforms = 4;
   std::size_t threads = 0;
+
+  /// Scheduling discipline (see sim::EngineMode): synchronized rounds by
+  /// default; event-driven per-node timelines for heterogeneity studies.
+  EngineMode engine_mode = EngineMode::kBarrier;
+  /// Per-node speed/straggler/churn knobs (inert at defaults).
+  NodeDynamics dynamics;
 };
 
 /// Prepared inputs of a scenario (exposed for tests and special benches).
@@ -89,6 +95,13 @@ struct ScenarioInputs {
 
 /// Generates dataset/split/topology/shards/factory for a scenario.
 [[nodiscard]] ScenarioInputs prepare_scenario(const Scenario& scenario);
+
+/// Prepares `inputs` (which must outlive the simulator — it owns the
+/// topology) and assembles the fully-wired Simulator for a scenario. The
+/// single place where Scenario fields map onto Simulator::Setup; used by
+/// run_scenario and by tests/benches that need engine access.
+[[nodiscard]] Simulator make_scenario_simulator(const Scenario& scenario,
+                                                ScenarioInputs& inputs);
 
 /// Runs the decentralized scenario end to end.
 [[nodiscard]] ExperimentResult run_scenario(const Scenario& scenario);

@@ -16,6 +16,10 @@ struct RoundRecord {
   std::uint64_t epoch = 0;
   SimTime round_time;        // max node total + propagation latency
   SimTime cumulative_time;   // running simulated clock
+  /// Nodes aggregated into this record: all of them for barrier rounds;
+  /// for event-driven runs, the nodes that completed this epoch index
+  /// (heterogeneous speeds make these counts diverge — by design).
+  std::size_t nodes_reporting = 0;
 
   double mean_rmse = 0.0;    // "nodes mean RMSE" (Fig 1/2/4/5 y-axis)
   double min_rmse = 0.0;

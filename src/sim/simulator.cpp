@@ -1,7 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 #include "support/error.hpp"
 
 namespace rex::sim {
@@ -46,144 +44,31 @@ Simulator::Simulator(Setup setup)
         quoting_enclaves_[id % quoting_enclaves_.size()].get(),
         verifier_.get(), setup.model_factory, node_seed, *transport_));
   }
+
+  SimEngine::Config engine_config;
+  engine_config.mode = setup.engine;
+  engine_config.dynamics = setup.dynamics;
+  engine_config.seed = setup.seed;
+  engine_ = std::make_unique<SimEngine>(rex_, *topology_, hosts_,
+                                        *transport_, cost_model_, *pool_,
+                                        result_, engine_config);
 }
 
-void Simulator::run_attestation() {
-  if (rex_.security == enclave::SecurityMode::kNative) return;
-  const std::size_t n = hosts_.size();
-  for (core::NodeId id = 0; id < n; ++id) {
-    std::vector<core::NodeId> neighbors(topology_->neighbors(id).begin(),
-                                        topology_->neighbors(id).end());
-    hosts_[id]->start_attestation(neighbors);
-  }
-  // The 3-message handshake needs 3 delivery rounds; allow slack for
-  // odd schedules, then verify.
-  constexpr std::size_t kMaxRounds = 8;
-  for (std::size_t round = 0; round < kMaxRounds; ++round) {
-    transport_->flush_round();
-    bool any_delivered = false;
-    for (core::NodeId id = 0; id < n; ++id) {
-      for (const net::Envelope& env : transport_->drain_inbox(id)) {
-        hosts_[id]->on_receive(env);
-        any_delivered = true;
-      }
-    }
-    ++attestation_rounds_;
-    if (!any_delivered) break;
-  }
-  transport_->flush_round();  // deliver stragglers of the final round
-  for (core::NodeId id = 0; id < n; ++id) {
-    for (const net::Envelope& env : transport_->drain_inbox(id)) {
-      hosts_[id]->on_receive(env);
-    }
-  }
-  for (core::NodeId id = 0; id < n; ++id) {
-    REX_REQUIRE(hosts_[id]->trusted().fully_attested(),
-                "mutual attestation failed for node " + std::to_string(id));
-  }
-}
+void Simulator::run_attestation() { engine_->run_attestation(); }
 
 void Simulator::initialize_nodes() {
-  REX_REQUIRE(!initialized_, "simulator already initialized");
-  const std::size_t n = hosts_.size();
-  transport_->reset_epoch_stats();
-  pool_->parallel_for(n, [&](std::size_t id) {
-    hosts_[id]->runtime().reset_epoch_counters();
-    core::TrustedInit init;
-    init.local_train = std::move(shards_[id].train);
-    init.local_test = std::move(shards_[id].test);
-    init.neighbors.assign(topology_->neighbors(static_cast<core::NodeId>(id)).begin(),
-                          topology_->neighbors(static_cast<core::NodeId>(id)).end());
-    hosts_[id]->initialize(std::move(init));
-  });
+  engine_->initialize(std::move(shards_));
   shards_.clear();
-  transport_->flush_round();
-  collect_round_record();
-  initialized_ = true;
-}
-
-void Simulator::deliver_and_run_round() {
-  const std::size_t n = hosts_.size();
-  transport_->reset_epoch_stats();
-  pool_->parallel_for(n, [&](std::size_t id) {
-    hosts_[id]->runtime().reset_epoch_counters();
-    for (const net::Envelope& env :
-         transport_->drain_inbox(static_cast<core::NodeId>(id))) {
-      hosts_[id]->on_receive(env);  // D-PSGD runs the epoch on last arrival
-    }
-    if (rex_.algorithm == core::Algorithm::kRmw) {
-      hosts_[id]->tick();  // RMW trains on its period (§III-C1)
-    }
-  });
-  transport_->flush_round();
-  collect_round_record();
 }
 
 void Simulator::run_epochs(std::size_t epochs) {
-  REX_REQUIRE(initialized_, "call initialize_nodes() before run_epochs()");
-  for (std::size_t e = 0; e < epochs; ++e) deliver_and_run_round();
+  engine_->run_epochs(epochs);
 }
 
 void Simulator::run(std::size_t epochs) {
   run_attestation();
   initialize_nodes();
   run_epochs(epochs);
-}
-
-void Simulator::collect_round_record() {
-  const std::size_t n = hosts_.size();
-  RoundRecord record;
-  record.epoch = result_.rounds.size();
-
-  SimTime slowest;
-  double rmse_sum = 0.0, bytes_sum = 0.0, mem_sum = 0.0, store_sum = 0.0;
-  record.min_rmse = 1e300;
-  for (core::NodeId id = 0; id < n; ++id) {
-    const core::UntrustedHost& host = *hosts_[id];
-    const core::EpochCounters& c = host.trusted().last_epoch();
-    const StageTimes stages = cost_model_.stage_times(host);
-
-    slowest = std::max(slowest, stages.total(),
-                       [](SimTime a, SimTime b) { return a < b; });
-    record.mean_stages.merge += stages.merge;
-    record.mean_stages.train += stages.train;
-    record.mean_stages.share += stages.share;
-    record.mean_stages.test += stages.test;
-    record.max_stages.merge = std::max(record.max_stages.merge, stages.merge,
-                                       [](SimTime a, SimTime b) { return a < b; });
-    record.max_stages.train = std::max(record.max_stages.train, stages.train,
-                                       [](SimTime a, SimTime b) { return a < b; });
-    record.max_stages.share = std::max(record.max_stages.share, stages.share,
-                                       [](SimTime a, SimTime b) { return a < b; });
-    record.max_stages.test = std::max(record.max_stages.test, stages.test,
-                                      [](SimTime a, SimTime b) { return a < b; });
-
-    rmse_sum += c.rmse;
-    record.min_rmse = std::min(record.min_rmse, c.rmse);
-    record.max_rmse = std::max(record.max_rmse, c.rmse);
-    const net::TrafficStats& traffic = transport_->epoch_stats(id);
-    bytes_sum += static_cast<double>(traffic.bytes_total());
-    const double memory =
-        static_cast<double>(host.runtime().stats().resident_bytes);
-    mem_sum += memory;
-    record.max_memory_bytes = std::max(record.max_memory_bytes, memory);
-    store_sum += static_cast<double>(c.store_size);
-    record.duplicates_dropped += c.duplicates_dropped;
-  }
-  const double dn = static_cast<double>(n);
-  record.mean_rmse = rmse_sum / dn;
-  record.mean_bytes_in_out = bytes_sum / dn;
-  record.mean_stages.merge = SimTime{record.mean_stages.merge.seconds / dn};
-  record.mean_stages.train = SimTime{record.mean_stages.train.seconds / dn};
-  record.mean_stages.share = SimTime{record.mean_stages.share.seconds / dn};
-  record.mean_stages.test = SimTime{record.mean_stages.test.seconds / dn};
-  record.mean_memory_bytes = mem_sum / dn;
-  record.mean_store_size = store_sum / dn;
-
-  record.round_time = slowest + cost_model_.round_latency();
-  clock_ += record.round_time;
-  record.cumulative_time = clock_;
-  result_.rounds.push_back(record);
 }
 
 }  // namespace rex::sim

@@ -1,11 +1,13 @@
-// Synchronous-round decentralized simulator.
+// Simulator: the assembly facade over the event-driven SimEngine.
 //
-// Drives N REX hosts over the in-process transport: a pre-protocol mutual
-// attestation phase (SGX mode), ecall_init epoch 0, then synchronized
-// rounds. Nodes execute in parallel inside a round (they own disjoint state
-// and the transport uses per-sender outboxes); rounds are barriers, matching
-// the paper's synchronization semantics (§III-D). All timing is simulated
-// through the CostModel, so results are deterministic for a given seed.
+// Owns the hosts, transport, platform services (SGX mode), thread pool and
+// result sink for one decentralized run, and delegates all scheduling to
+// sim::SimEngine. The default barrier mode reproduces the paper's
+// synchronized rounds (§III-D) with metrics bit-identical to the historical
+// fixed loop; EngineMode::kEventDriven plus NodeDynamics unlock per-node
+// speed heterogeneity, log-normal stragglers and churn. All timing is
+// simulated through the CostModel, so results are deterministic for a given
+// seed regardless of worker-thread count.
 #pragma once
 
 #include <memory>
@@ -18,6 +20,7 @@
 #include "ml/model.hpp"
 #include "net/transport.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "support/thread_pool.hpp"
 
@@ -35,18 +38,30 @@ class Simulator {
     std::size_t threads = 0;      // 0 = hardware concurrency
     std::size_t platforms = 4;    // physical machines (paper: 4 SGX servers)
     std::string label;
+    /// Scheduling discipline: synchronized rounds (default, the paper's
+    /// setup) or fully event-driven per-node timelines.
+    EngineMode engine = EngineMode::kBarrier;
+    /// Heterogeneity/failure knobs (inert at defaults).
+    NodeDynamics dynamics;
   };
 
   explicit Simulator(Setup setup);
 
+  // The engine holds references into this object; prvalue returns still
+  // work (guaranteed elision), but moving a constructed Simulator would
+  // dangle them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   /// Runs the mutual attestation phase (no-op in native mode). Throws if
-  /// any pair fails to attest within a bounded number of rounds.
+  /// any pair fails to attest within a bounded number of steps.
   void run_attestation();
 
   /// ecall_init on every node (epoch 0: first local training + share).
   void initialize_nodes();
 
-  /// Runs `epochs` further synchronized rounds.
+  /// Barrier mode: `epochs` further synchronized rounds. Event mode: pumps
+  /// the engine until every node completed `epochs` further epochs.
   void run_epochs(std::size_t epochs);
 
   /// Convenience: attestation + init + epochs.
@@ -59,16 +74,15 @@ class Simulator {
   }
   [[nodiscard]] net::Transport& transport() { return *transport_; }
   [[nodiscard]] const graph::Graph& topology() const { return *topology_; }
+  [[nodiscard]] SimEngine& engine() { return *engine_; }
+  [[nodiscard]] const SimEngine& engine() const { return *engine_; }
 
-  /// Rounds the attestation phase needed (0 for native runs).
+  /// Attestation delivery steps needed (0 for native runs).
   [[nodiscard]] std::size_t attestation_rounds() const {
-    return attestation_rounds_;
+    return engine_->attestation_rounds();
   }
 
  private:
-  void deliver_and_run_round();
-  void collect_round_record();
-
   const graph::Graph* topology_;
   core::RexConfig rex_;
   CostModel cost_model_;
@@ -83,9 +97,7 @@ class Simulator {
   std::unique_ptr<enclave::DcapVerifier> verifier_;
 
   ExperimentResult result_;
-  SimTime clock_;
-  std::size_t attestation_rounds_ = 0;
-  bool initialized_ = false;
+  std::unique_ptr<SimEngine> engine_;  // after everything it borrows
 };
 
 }  // namespace rex::sim

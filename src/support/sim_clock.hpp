@@ -30,6 +30,16 @@ struct SimTime {
   friend constexpr SimTime operator-(SimTime a, SimTime b) {
     return SimTime{a.seconds - b.seconds};
   }
+  /// Scales a duration (straggler jitter, per-node slowdown factors).
+  friend constexpr SimTime operator*(SimTime t, double factor) {
+    return SimTime{t.seconds * factor};
+  }
+  friend constexpr SimTime operator*(double factor, SimTime t) {
+    return t * factor;
+  }
+
+  // The one ordering everyone uses — std::max/std::min and the event queue
+  // all compare through these, never through ad-hoc lambdas.
   friend constexpr bool operator<(SimTime a, SimTime b) {
     return a.seconds < b.seconds;
   }
@@ -38,6 +48,9 @@ struct SimTime {
   }
   friend constexpr bool operator<=(SimTime a, SimTime b) {
     return a.seconds <= b.seconds;
+  }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.seconds >= b.seconds;
   }
   friend constexpr bool operator==(SimTime a, SimTime b) {
     return a.seconds == b.seconds;

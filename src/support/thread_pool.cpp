@@ -35,6 +35,7 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::lock_guard lock(mutex_);
     first_error_ = nullptr;
+    shard_mode_ = false;
     const std::size_t chunk = (n + workers - 1) / workers;
     pending_ = 0;
     for (std::size_t w = 0; w < workers; ++w) {
@@ -53,9 +54,66 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
+void ThreadPool::parallel_shards(std::size_t n,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = workers_.size();
+  if (workers == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    first_error_ = nullptr;
+    shard_mode_ = true;
+    shard_count_ = n;
+    next_shard_ = 0;
+    shard_fn_ = &fn;
+    pending_ = n;  // one pending unit per shard, whoever executes it
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadPool::run_shard_batch() {
+  // Claim-execute loop: any subset of awakened workers can drain the batch,
+  // so a late wake-up cannot deadlock it; an idle worker simply steals the
+  // next unclaimed shard.
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t index = 0;
+    {
+      std::lock_guard lock(mutex_);
+      if (!shard_mode_ || next_shard_ >= shard_count_) return;
+      index = next_shard_++;
+      fn = shard_fn_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) {
+        shard_mode_ = false;  // batch complete; stale workers see it closed
+        work_done_.notify_all();
+      }
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
   std::size_t seen_generation = 0;
   for (;;) {
+    bool shard_batch = false;
     {
       std::unique_lock lock(mutex_);
       work_ready_.wait(lock, [&] {
@@ -63,6 +121,11 @@ void ThreadPool::worker_loop() {
       });
       if (stopping_) return;
       seen_generation = generation_;
+      shard_batch = shard_mode_;
+    }
+    if (shard_batch) {
+      run_shard_batch();
+      continue;
     }
     // Drain every unclaimed chunk of this batch. Any subset of awakened
     // workers can complete the batch, so a late wake-up cannot deadlock it.

@@ -1,9 +1,20 @@
-// Fixed-size thread pool with a deterministic parallel_for.
+// Fixed-size thread pool with deterministic data-parallel primitives.
 //
-// The simulator parallelizes *across nodes within a round* (nodes own
-// disjoint state and rounds are barriers — DESIGN.md §4), so a static
-// block-cyclic index split is enough and keeps results bitwise identical to
-// the serial execution.
+// The simulation parallelizes *across nodes that own disjoint state*
+// (DESIGN.md §4), so no ordering between concurrently executed indices is
+// ever required and results stay bitwise identical to serial execution.
+// Two primitives:
+//
+//   parallel_for     static block split — one contiguous chunk per worker.
+//                    Best when every index costs about the same (a barrier
+//                    round where all nodes do one epoch).
+//
+//   parallel_shards  work-stealing dynamic split — workers claim the next
+//                    unclaimed shard from a shared cursor, so a straggler
+//                    shard (an event batch with an expensive node) does not
+//                    idle the rest of the pool. Used by the event engine for
+//                    independent per-node event batches at the same
+//                    simulated timestamp.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +42,14 @@ class ThreadPool {
   /// propagate to the caller (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(i) for i in [0, n) with dynamic (work-stealing) scheduling:
+  /// every worker repeatedly claims the lowest unclaimed index until all are
+  /// done. Each index runs exactly once; indices must be independent (no
+  /// ordering is guaranteed). Blocks until every call returned; exceptions
+  /// propagate (first one wins).
+  void parallel_shards(std::size_t n,
+                       const std::function<void(std::size_t)>& fn);
+
  private:
   struct Task {
     std::size_t begin = 0;
@@ -39,16 +58,23 @@ class ThreadPool {
   };
 
   void worker_loop();
+  void run_shard_batch();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  std::vector<Task> tasks_;        // one slot per worker
+  std::vector<Task> tasks_;        // one slot per worker (parallel_for)
   std::size_t pending_ = 0;        // tasks not yet finished this batch
   std::size_t generation_ = 0;     // batch counter
   bool stopping_ = false;
   std::exception_ptr first_error_;
+
+  // parallel_shards state: a shared claim cursor instead of static blocks.
+  bool shard_mode_ = false;        // what the current batch runs
+  std::size_t shard_count_ = 0;
+  std::size_t next_shard_ = 0;     // work-stealing cursor (guarded by mutex_)
+  const std::function<void(std::size_t)>* shard_fn_ = nullptr;
 };
 
 }  // namespace rex

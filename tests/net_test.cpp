@@ -108,6 +108,70 @@ TEST(Transport, Validation) {
   EXPECT_THROW((void)t.stats(7), Error);
 }
 
+TEST(Transport, TakeOutboxDrainsAndAccountsSendSide) {
+  Transport t(3);
+  t.send(make(0, 1, 10));
+  t.send(make(0, 2, 20));
+  const auto taken = t.take_outbox(0);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].dst, 1u);
+  EXPECT_EQ(taken[1].dst, 2u);
+  EXPECT_EQ(t.stats(0).messages_sent, 2u);
+  EXPECT_EQ(t.stats(0).bytes_sent, 30 + 2 * Envelope::kHeaderSize);
+  // Nothing was delivered yet: receive side untouched, inboxes empty.
+  EXPECT_EQ(t.stats(1).messages_received, 0u);
+  EXPECT_EQ(t.inbox_size(1), 0u);
+  EXPECT_TRUE(t.take_outbox(0).empty());
+  // A later flush has nothing left to route.
+  t.flush_round();
+  EXPECT_EQ(t.inbox_size(1), 0u);
+}
+
+TEST(Transport, RecordDeliveryAccountsReceiveSide) {
+  Transport t(2);
+  const Envelope env = make(0, 1, 40);
+  t.record_delivery(env);
+  EXPECT_EQ(t.stats(1).messages_received, 1u);
+  EXPECT_EQ(t.stats(1).bytes_received, 40 + Envelope::kHeaderSize);
+  EXPECT_EQ(t.epoch_stats(1).bytes_received, 40 + Envelope::kHeaderSize);
+  EXPECT_EQ(t.stats(0).messages_sent, 0u);  // send side is take_outbox's job
+}
+
+TEST(Transport, DrainMovesPayloadsOutOfTheInbox) {
+  Transport t(2);
+  Envelope env = make(0, 1, 1);
+  env.payload = Bytes(1000, 0x5A);
+  const std::uint8_t* data_before = env.payload.data();
+  t.send(std::move(env));
+  t.flush_round();
+  const auto delivered = t.drain_inbox(1);
+  ASSERT_EQ(delivered.size(), 1u);
+  // The payload buffer traveled by move through outbox, shard and drain.
+  EXPECT_EQ(delivered[0].payload.data(), data_before);
+  EXPECT_EQ(t.inbox_size(1), 0u);
+}
+
+TEST(Transport, ShardedInboxPreservesOrderAcrossManySenders) {
+  // More senders than shards: the k-way merge must still reproduce the
+  // (sender id, send order) sequence.
+  constexpr std::size_t kNodes = 3 * Transport::kInboxShards + 1;
+  Transport t(kNodes);
+  for (NodeId src = kNodes - 1; src >= 1; --src) {
+    t.send(make(src, 0, src));
+    t.send(make(src, 0, src + 100));
+  }
+  t.flush_round();
+  const auto delivered = t.drain_inbox(0);
+  ASSERT_EQ(delivered.size(), 2 * (kNodes - 1));
+  for (std::size_t i = 0; i < delivered.size(); i += 2) {
+    const NodeId expected_src = static_cast<NodeId>(i / 2 + 1);
+    EXPECT_EQ(delivered[i].src, expected_src);
+    EXPECT_EQ(delivered[i].payload.size(), expected_src);
+    EXPECT_EQ(delivered[i + 1].src, expected_src);
+    EXPECT_EQ(delivered[i + 1].payload.size(), expected_src + 100u);
+  }
+}
+
 TEST(Transport, ManyMessagesFifoPerSender) {
   Transport t(2);
   for (int i = 0; i < 100; ++i) t.send(make(0, 1, i + 1));

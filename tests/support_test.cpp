@@ -242,6 +242,46 @@ TEST(ThreadPool, SingleThreadFallback) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPool, ShardsRunAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_shards(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ShardsHandleEmptyTinyAndUnevenBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_shards(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_shards(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+  // Uneven work: one heavy shard must not starve the rest (stealing).
+  std::atomic<long> total{0};
+  pool.parallel_shards(64, [&](std::size_t i) {
+    long local = 0;
+    const long spins = i == 0 ? 20000 : 10;
+    for (long s = 0; s < spins; ++s) local += s;
+    total += local == -1 ? 0 : static_cast<long>(i);
+  });
+  EXPECT_EQ(total.load(), 64L * 63 / 2);
+}
+
+TEST(ThreadPool, ShardsPropagateExceptionsAndStayUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_shards(10,
+                                    [&](std::size_t i) {
+                                      if (i == 3) throw Error("boom");
+                                    }),
+               Error);
+  std::atomic<int> count{0};
+  pool.parallel_shards(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+  // parallel_for and parallel_shards interleave on the same pool.
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 20);
+}
+
 TEST(ErrorMacros, RequireThrowsWithContext) {
   try {
     REX_REQUIRE(1 == 2, "numbers disagree");
