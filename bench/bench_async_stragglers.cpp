@@ -1,22 +1,45 @@
-// Stragglers — synchronous barrier vs event-driven scheduling under a
-// log-normal straggler distribution (new workload enabled by the event
-// engine; cf. the heterogeneous-device scenarios of decentralized mobile
-// recommender deployments).
+// Stragglers & engine scale — the event engine's two showcases.
 //
-// Every round of a barrier-synchronized run waits for its slowest node, so
-// the round time is the *max* of N log-normal draws; the event engine lets
-// every node advance on its own timeline, so a straggling node only delays
-// itself (RMW) or its immediate neighbors' next round (D-PSGD). This bench
-// reports, for increasing straggler severity:
-//   - barrier: simulated time for all nodes to finish E epochs
-//   - event-driven: simulated time until every node finished E epochs, plus
-//     the min/max per-node epoch counts at that moment (the fast-node
-//     overshoot the barrier forbids)
+// Default mode: barrier vs event-driven scheduling under a log-normal
+// straggler distribution (new workload enabled by the event engine; cf. the
+// heterogeneous-device scenarios of decentralized mobile recommender
+// deployments). Every round of a barrier-synchronized run waits for its
+// slowest node, so the round time is the *max* of N log-normal draws; the
+// event engine lets every node advance on its own timeline, so a straggling
+// node only delays itself (RMW) or its immediate neighbors' next round
+// (D-PSGD).
+//
+// --paper-scale: the 10k-node engine-scale profile. The sigma sweep is
+// replaced by two event-driven cells that measure the scheduler itself:
+//
+//   scheduler  RMW self-paced with the node math dialed to zero (no SGD
+//              steps, empty share payloads): almost every cycle is queue
+//              discipline, slot pools and accounting — the calendar-queue
+//              acceptance metric.
+//   learning   D-PSGD with small real payloads and SGD steps: the engine
+//              under a realistic (if reduced) protocol load.
+//
+// Both report wall-clock events/sec over the run phase (model init excluded
+// — it is one-time and amortizes over any real experiment), plus the
+// engine's scheduler-overhead counters, and are recorded in
+// BENCH_engine_scale.json so the perf trajectory is tracked from PR 2
+// onward. --baseline FILE compares against a committed json and exits
+// non-zero on a >25% events/sec regression (the CI gate).
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_common.hpp"
+#include "sim/report.hpp"
 
 namespace {
+
+/// Pre-PR-2 reference: the binary-heap engine (std::priority_queue +
+/// per-event hash maps + per-batch allocations) ran the 10k-node scheduler
+/// cell at ~418k events/sec on the calibration machine. Kept as a fixed
+/// reference in the json so the speedup story survives the baseline being
+/// recalibrated.
+constexpr double kPrePrHeapEventsPerSec = 418000.0;
 
 rex::sim::Scenario straggler_scenario(const rex::bench::Options& options,
                                       rex::core::Algorithm algorithm,
@@ -30,6 +53,155 @@ rex::sim::Scenario straggler_scenario(const rex::bench::Options& options,
   s.dynamics.straggler_lognormal_sigma = sigma;
   s.dynamics.speed_lognormal_sigma = 0.25;
   return s;
+}
+
+/// The engine-scale profile: one-user-per-node at 10k nodes (1k at default
+/// scale), tiny MF models so node math does not drown the scheduler.
+rex::sim::Scenario engine_scale_scenario(const rex::bench::Options& options,
+                                         bool scheduler_cell) {
+  using namespace rex;
+  sim::Scenario s;
+  const std::size_t nodes = options.paper_scale ? 10000 : 1000;
+  s.label = scheduler_cell ? "scheduler" : "learning";
+  s.dataset.n_users = nodes;
+  s.dataset.n_items = 100;
+  s.dataset.n_ratings = nodes * 10;
+  s.dataset.min_ratings_per_user = 5;
+  s.dataset.seed = options.seed ^ 0xDA7A;
+  s.nodes = 0;  // one node per user
+  s.topology = sim::TopologyKind::kSmallWorld;
+  s.model = sim::ModelKind::kMf;
+  s.mf_embedding_dim = 2;
+  s.rex.sharing = core::SharingMode::kRawData;
+  if (scheduler_cell) {
+    // RMW self-paced, zero math: every node free-runs epochs, so nearly
+    // all wall time is the engine itself (one-event batches dominate).
+    s.rex.algorithm = core::Algorithm::kRmw;
+    s.mf_sgd_steps_per_epoch = 0;
+    s.rex.data_points_per_epoch = 0;
+  } else {
+    s.rex.algorithm = core::Algorithm::kDpsgd;
+    s.mf_sgd_steps_per_epoch = 4;
+    s.rex.data_points_per_epoch = 4;
+  }
+  s.epochs = options.epochs_or(10);
+  s.seed = options.seed;
+  s.threads = options.threads;
+  s.engine_mode = sim::EngineMode::kEventDriven;
+  s.dynamics.speed_lognormal_sigma = 0.25;
+  s.dynamics.straggler_probability = 0.3;
+  s.dynamics.straggler_lognormal_sigma = 1.0;
+  return s;
+}
+
+struct ScaleCellResult {
+  std::size_t nodes = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  rex::sim::SimEngine::SchedulerStats stats;
+};
+
+ScaleCellResult run_scale_cell(const rex::bench::Options& options,
+                               bool scheduler_cell) {
+  using namespace rex;
+  const sim::Scenario scenario = engine_scale_scenario(options, scheduler_cell);
+  std::fprintf(stderr, "  running %-10s cell (%zu nodes) ...",
+               scenario.label.c_str(), scenario.dataset.n_users);
+  std::fflush(stderr);
+  sim::ScenarioInputs inputs;
+  sim::Simulator simulator = sim::make_scenario_simulator(scenario, inputs);
+  simulator.run_attestation();
+  simulator.initialize_nodes();
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run_epochs(scenario.epochs);
+  ScaleCellResult out;
+  out.nodes = simulator.node_count();
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  out.events = simulator.engine().events_processed();
+  out.events_per_sec = static_cast<double>(out.events) / out.wall_s;
+  out.stats = simulator.engine().scheduler_stats();
+  std::fprintf(stderr, " done (%.1f s wall)\n", out.wall_s);
+
+  if (!options.csv_dir.empty()) {
+    std::filesystem::create_directories(options.csv_dir);
+    sim::write_csv(simulator.result(), options.csv_dir + "/engine_scale_" +
+                                           scenario.label + ".csv");
+    sim::write_node_csv(simulator.engine(),
+                        options.csv_dir + "/engine_scale_" + scenario.label +
+                            "_nodes.csv");
+  }
+  return out;
+}
+
+void print_scale_cell(const char* name, const ScaleCellResult& r) {
+  std::printf("  %-10s %12llu events  %8.2f s  %12.0f events/sec\n", name,
+              static_cast<unsigned long long>(r.events), r.wall_s,
+              r.events_per_sec);
+  std::printf(
+      "             scheduler overhead: %llu batches, queue peak %zu, "
+      "%llu resizes, %llu direct searches, slots d/s/e %zu/%zu/%zu\n",
+      static_cast<unsigned long long>(r.stats.batches), r.stats.queue_peak,
+      static_cast<unsigned long long>(r.stats.queue_resizes),
+      static_cast<unsigned long long>(r.stats.direct_searches),
+      r.stats.delivery_slots, r.stats.share_slots, r.stats.epoch_slots);
+}
+
+/// Emits BENCH_engine_scale.json and applies the --baseline regression
+/// gate. Returns the process exit code.
+int emit_scale_json(const rex::bench::Options& options,
+                    const ScaleCellResult& scheduler,
+                    const ScaleCellResult& learning) {
+  using namespace rex;
+  const std::size_t nodes = scheduler.nodes;
+  bench::BenchJson json;
+  json.str("bench", "bench_async_stragglers");
+  json.str("mode", options.paper_scale ? "paper-scale" : "default");
+  json.integer("nodes", nodes);
+  json.integer("seed", options.seed);
+  json.integer("threads", options.threads);
+  json.integer("scheduler_events", scheduler.events);
+  json.number("scheduler_wall_s", scheduler.wall_s);
+  json.number("scheduler_events_per_sec", scheduler.events_per_sec);
+  json.integer("scheduler_queue_peak", scheduler.stats.queue_peak);
+  json.integer("scheduler_queue_resizes", scheduler.stats.queue_resizes);
+  json.integer("learning_events", learning.events);
+  json.number("learning_wall_s", learning.wall_s);
+  json.number("learning_events_per_sec", learning.events_per_sec);
+  json.integer("peak_rss_bytes", bench::peak_rss_bytes());
+  if (options.paper_scale) {
+    json.number("pre_pr_heap_events_per_sec", kPrePrHeapEventsPerSec);
+    json.number("speedup_vs_pre_pr_heap",
+                scheduler.events_per_sec / kPrePrHeapEventsPerSec);
+  }
+  json.write("BENCH_engine_scale.json");
+
+  if (options.baseline_path.empty()) return 0;
+  double baseline_nodes = 0.0;
+  if (bench::read_bench_json_number(options.baseline_path, "nodes",
+                                    &baseline_nodes) &&
+      static_cast<std::size_t>(baseline_nodes) != nodes) {
+    std::fprintf(stderr,
+                 "baseline %s is a %.0f-node profile; skipping the gate for "
+                 "this %zu-node run\n",
+                 options.baseline_path.c_str(), baseline_nodes, nodes);
+    return 0;
+  }
+  double baseline = 0.0;
+  if (!bench::read_bench_json_number(options.baseline_path,
+                                     "scheduler_events_per_sec", &baseline)) {
+    std::fprintf(stderr, "baseline %s missing scheduler_events_per_sec\n",
+                 options.baseline_path.c_str());
+    return 2;
+  }
+  const double floor = baseline * 0.75;
+  std::printf("\nregression gate: %.0f events/sec vs baseline %.0f "
+              "(floor %.0f): %s\n",
+              scheduler.events_per_sec, baseline, floor,
+              scheduler.events_per_sec >= floor ? "PASS" : "FAIL");
+  return scheduler.events_per_sec >= floor ? 0 : 3;
 }
 
 struct CellResult {
@@ -69,7 +241,25 @@ int main(int argc, char** argv) {
   using namespace rex;
   const bench::Options options = bench::parse_options(
       argc, argv, "bench_async_stragglers",
-      "Barrier vs event-driven completion time under log-normal stragglers");
+      "Barrier vs event-driven completion time under log-normal stragglers; "
+      "--paper-scale runs the 10k-node engine-scale profile");
+
+  if (options.paper_scale) {
+    bench::print_header("Engine scale — 10k-node event-driven profile",
+                        options);
+    const ScaleCellResult scheduler = run_scale_cell(options, true);
+    const ScaleCellResult learning = run_scale_cell(options, false);
+    std::printf("\nwall-clock engine throughput (run phase, init excluded)\n");
+    print_scale_cell("scheduler", scheduler);
+    print_scale_cell("learning", learning);
+    std::printf(
+        "\npre-PR-2 heap engine reference: ~%.0f events/sec on the scheduler "
+        "cell\n(calibration machine), i.e. this build runs it at %.2fx.\n",
+        kPrePrHeapEventsPerSec,
+        scheduler.events_per_sec / kPrePrHeapEventsPerSec);
+    return emit_scale_json(options, scheduler, learning);
+  }
+
   bench::print_header("Stragglers — barrier vs event-driven engine", options);
 
   const double sigmas[] = {0.0, 0.5, 1.0, 1.5};
@@ -98,5 +288,13 @@ int main(int argc, char** argv) {
       " so its\ncompletion time grows with σ much faster than the"
       " event-driven engine's,\nand event-driven fast nodes overshoot the"
       " epoch target (min < max).\n");
-  return 0;
+
+  // Default-scale engine profile: keeps BENCH_engine_scale.json tracking
+  // the perf trajectory even on quick runs.
+  std::printf("\nengine-scale profile (default scale, 1000 nodes)\n");
+  const ScaleCellResult scheduler = run_scale_cell(options, true);
+  const ScaleCellResult learning = run_scale_cell(options, false);
+  print_scale_cell("scheduler", scheduler);
+  print_scale_cell("learning", learning);
+  return emit_scale_json(options, scheduler, learning);
 }

@@ -1,11 +1,17 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+
+#include "serialize/json.hpp"
+#include "support/error.hpp"
 
 namespace rex::bench {
 
@@ -23,6 +29,7 @@ namespace {
       "  --seed S        experiment seed (default 1)\n"
       "  --csv DIR       dump per-epoch series as CSV into DIR\n"
       "  --threads N     simulator worker threads (default: hardware)\n"
+      "  --baseline F    compare BENCH_*.json metrics against F (CI gate)\n"
       "  --help          this text\n",
       bench_name.c_str(), description.c_str());
   std::exit(exit_code);
@@ -58,6 +65,8 @@ Options parse_options(int argc, char** argv, const std::string& bench_name,
     } else if (arg == "--threads") {
       options.threads = static_cast<std::size_t>(std::strtoull(
           next_value(), nullptr, 10));
+    } else if (arg == "--baseline") {
+      options.baseline_path = next_value();
     } else if (arg == "--help" || arg == "-h") {
       usage_and_exit(bench_name, description, 0);
     } else {
@@ -241,6 +250,55 @@ std::string format_bytes(double bytes) {
     std::snprintf(buffer, sizeof buffer, "%.0f B", bytes);
   }
   return buffer;
+}
+
+void BenchJson::number(const std::string& key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  fields_.emplace_back(key, buffer);
+}
+
+void BenchJson::integer(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::str(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + value + "\"");
+}
+
+void BenchJson::write(const std::string& path) const {
+  std::ofstream out(path);
+  REX_REQUIRE(out.good(), "cannot open bench json path: " + path);
+  out << "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+        << (i + 1 < fields_.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  std::fprintf(stderr, "  wrote %s\n", path.c_str());
+}
+
+bool read_bench_json_number(const std::string& path, const std::string& key,
+                            double* value) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  try {
+    const serialize::Json parsed = serialize::Json::parse(text);
+    if (!parsed.contains(key)) return false;
+    *value = parsed.at(key).as_number();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
 }
 
 std::string format_time(double seconds) {

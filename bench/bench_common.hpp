@@ -29,6 +29,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::string csv_dir;  // empty = no CSV dumps
   std::size_t threads = 0;
+  /// Path of a committed BENCH_*.json to regress against (CI gate); empty =
+  /// no comparison.
+  std::string baseline_path;
 
   /// Epochs to run: the explicit override, else `fallback`.
   [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {
@@ -94,5 +97,31 @@ void print_header(const std::string& title, const Options& options);
 
 /// Human-readable simulated duration ("12.3 s", "4.1 min").
 [[nodiscard]] std::string format_time(double seconds);
+
+/// Minimal ordered JSON-object writer for machine-readable BENCH_*.json
+/// artifacts (perf trajectory tracking: one flat object, insertion order).
+class BenchJson {
+ public:
+  void number(const std::string& key, double value);
+  void integer(const std::string& key, std::uint64_t value);
+  void str(const std::string& key, const std::string& value);
+
+  /// Writes the object to `path` (and echoes the path to stderr).
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Reads one numeric field out of a BENCH_*.json written by BenchJson.
+/// Returns false when the file or key is missing (no throw: CI baselines
+/// may not exist yet on fresh branches).
+[[nodiscard]] bool read_bench_json_number(const std::string& path,
+                                          const std::string& key,
+                                          double* value);
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// ru_maxrss; 0 where unsupported).
+[[nodiscard]] std::size_t peak_rss_bytes();
 
 }  // namespace rex::bench

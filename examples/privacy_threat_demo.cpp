@@ -177,7 +177,9 @@ int main() {
     auto inbox = swarm.transport.drain_inbox(0);
     REX_REQUIRE(!inbox.empty(), "expected epoch-1 traffic");
     net::Envelope tampered = inbox.front();
-    tampered.payload[tampered.payload.size() / 2] ^= 0x01;
+    Bytes flipped = tampered.payload.to_bytes();
+    flipped[flipped.size() / 2] ^= 0x01;
+    tampered.payload = SharedBytes::wrap(std::move(flipped));
     bool rejected = false;
     try {
       swarm.hosts[0]->on_deliver(tampered);

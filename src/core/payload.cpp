@@ -6,8 +6,8 @@
 
 namespace rex::core {
 
-Bytes ProtocolPayload::encode() const {
-  serialize::BinaryWriter w;
+Bytes ProtocolPayload::encode(Bytes scratch) const {
+  serialize::BinaryWriter w(std::move(scratch));
   w.u8(static_cast<std::uint8_t>(kind));
   w.varint(epoch);
   w.u32(sender_degree);
@@ -33,39 +33,50 @@ Bytes ProtocolPayload::encode() const {
 }
 
 ProtocolPayload ProtocolPayload::decode(BytesView bytes) {
-  serialize::BinaryReader r(bytes);
   ProtocolPayload payload;
+  decode_into(bytes, payload);
+  return payload;
+}
+
+void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
+  serialize::BinaryReader r(bytes);
+  out.ratings.clear();
+  out.model_blob.clear();
   const std::uint8_t kind_byte = r.u8();
   REX_REQUIRE(
       kind_byte <= static_cast<std::uint8_t>(PayloadKind::kRawDataCompressed),
       "unknown payload kind");
-  payload.kind = static_cast<PayloadKind>(kind_byte);
-  payload.epoch = r.varint();
-  payload.sender_degree = r.u32();
-  switch (payload.kind) {
+  out.kind = static_cast<PayloadKind>(kind_byte);
+  out.epoch = r.varint();
+  out.sender_degree = r.u32();
+  switch (out.kind) {
     case PayloadKind::kEmpty:
       break;
     case PayloadKind::kRawData: {
       const std::uint64_t count = r.varint();
-      payload.ratings.reserve(count);
+      out.ratings.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) {
         data::Rating rating;
         rating.user = r.u32();
         rating.item = r.u32();
         rating.value = r.f32();
-        payload.ratings.push_back(rating);
+        out.ratings.push_back(rating);
       }
       break;
     }
-    case PayloadKind::kModel:
-      payload.model_blob = r.bytes();
+    case PayloadKind::kModel: {
+      // bytes() framing (varint length + raw), assigned so a recycled
+      // model_blob keeps its capacity.
+      const std::uint64_t n = r.varint();
+      const BytesView raw = r.raw(n);
+      out.model_blob.assign(raw.begin(), raw.end());
       break;
+    }
     case PayloadKind::kRawDataCompressed:
-      payload.ratings = data::decode_ratings_compressed(r);
+      out.ratings = data::decode_ratings_compressed(r);
       break;
   }
   r.expect_end();
-  return payload;
 }
 
 }  // namespace rex::core

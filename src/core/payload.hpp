@@ -29,8 +29,13 @@ struct ProtocolPayload {
   std::vector<data::Rating> ratings;  // kRawData
   Bytes model_blob;                   // kModel
 
-  [[nodiscard]] Bytes encode() const;
+  /// `scratch` (optional) donates its heap capacity to the encoding — pass
+  /// a recycled BufferPool buffer to keep the share path allocation-free.
+  [[nodiscard]] Bytes encode(Bytes scratch = Bytes{}) const;
   [[nodiscard]] static ProtocolPayload decode(BytesView bytes);
+  /// Decodes into `out`, recycling its ratings/model_blob heap capacity —
+  /// the receive path's counterpart of encode(scratch).
+  static void decode_into(BytesView bytes, ProtocolPayload& out);
 };
 
 }  // namespace rex::core

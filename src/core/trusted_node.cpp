@@ -14,7 +14,7 @@ TrustedNode::TrustedNode(const RexConfig& config, NodeId id,
                          const enclave::QuotingEnclave* quoting_enclave,
                          const enclave::DcapVerifier* verifier,
                          ml::ModelFactory model_factory, std::uint64_t seed,
-                         SendFn send)
+                         SendFn send, BufferPool* payload_pool)
     : config_(config),
       id_(id),
       runtime_(runtime),
@@ -23,6 +23,7 @@ TrustedNode::TrustedNode(const RexConfig& config, NodeId id,
       verifier_(verifier),
       model_factory_(std::move(model_factory)),
       send_(std::move(send)),
+      payload_pool_(payload_pool),
       rng_(seed),
       drbg_(seed ^ 0xA77E57A7A77E57A7ULL) {
   REX_REQUIRE(send_ != nullptr, "trusted node needs an ocall_send proxy");
@@ -34,6 +35,7 @@ TrustedNode::TrustedNode(const RexConfig& config, NodeId id,
 void TrustedNode::start_attestation(const std::vector<NodeId>& neighbors) {
   neighbors_ = neighbors;
   std::sort(neighbors_.begin(), neighbors_.end());
+  reset_neighbor_state();
   for (NodeId peer : neighbors_) {
     sessions_.emplace(
         std::piecewise_construct, std::forward_as_tuple(peer),
@@ -69,6 +71,25 @@ enclave::AttestationSession& TrustedNode::session(NodeId peer) {
   return it->second;
 }
 
+std::size_t TrustedNode::neighbor_index(NodeId src) const {
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), src);
+  REX_REQUIRE(it != neighbors_.end() && *it == src,
+              "protocol message from non-neighbor");
+  return static_cast<std::size_t>(it - neighbors_.begin());
+}
+
+void TrustedNode::reset_neighbor_state() {
+  slots_.assign(neighbors_.size(), NeighborSlot{});
+  filled_slots_ = 0;
+}
+
+TrustedNode::PendingInput TrustedNode::acquire_input() {
+  if (input_pool_.empty()) return PendingInput{};
+  PendingInput input = std::move(input_pool_.back());
+  input_pool_.pop_back();
+  return input;
+}
+
 bool TrustedNode::attested_with(NodeId peer) const {
   const auto it = sessions_.find(peer);
   return it != sessions_.end() && it->second.attested();
@@ -99,6 +120,7 @@ void TrustedNode::ecall_init(TrustedInit init) {
     // Attestation may be skipped in native mode; adopt the neighbor list.
     neighbors_ = init.neighbors;
     std::sort(neighbors_.begin(), neighbors_.end());
+    reset_neighbor_state();
   }
   model_ = model_factory_(rng_);
   initialized_ = true;
@@ -115,10 +137,9 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
 
   // Algorithm 2 lines 6-11: identify the source; decrypt if a session
   // exists, otherwise the message should have been an attestation one.
-  REX_REQUIRE(std::find(neighbors_.begin(), neighbors_.end(), src) !=
-                  neighbors_.end(),
-              "protocol message from non-neighbor");
-  Bytes plaintext;
+  const std::size_t slot = neighbor_index(src);
+  PendingInput input = acquire_input();  // recycled decode target
+  std::size_t plaintext_size = 0;
   if (runtime_.secure()) {
     REX_REQUIRE(attested_with(src),
                 "protocol message from unattested peer");  // fail closed
@@ -132,20 +153,22 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
         crypto::aead_open(sess.session_key(), nonce, aad, blob);
     REX_REQUIRE(opened.has_value(),
                 "authenticated decryption failed: tampered payload");
-    plaintext = *opened;
+    plaintext_size = opened->size();
+    ProtocolPayload::decode_into(*opened, input.payload);
   } else {
-    plaintext.assign(blob.begin(), blob.end());
+    // Native runs decode straight off the (shared, immutable) wire buffer —
+    // no plaintext staging copy per delivery.
+    plaintext_size = blob.size();
+    ProtocolPayload::decode_into(blob, input.payload);
   }
-
-  ProtocolPayload payload = ProtocolPayload::decode(plaintext);
   // Arrivals queue FIFO per neighbor: under event-driven scheduling a fast
   // neighbor may deliver round k+1 while we still wait on a slower one for
   // round k; RMW buffers everything since its last period (§III-C1).
-  // Validate everything before mutating any state: a rejected message must
-  // leave no trace — an empty ghost slot would satisfy round_ready() and
-  // crash the next merge, and accounting a rejected payload would skew the
-  // cost model. (The caller may catch the Error and keep the node running,
-  // as the tamper tests do.)
+  // Validate everything before mutating any node state: a rejected message
+  // must leave no trace — an empty ghost slot would satisfy round_ready()
+  // and crash the next merge, and accounting a rejected payload would skew
+  // the cost model. (The caller may catch the Error and keep the node
+  // running, as the tamper tests do.)
   //
   // A sender's epochs strictly increase and per-edge delivery is FIFO, so
   // an epoch at or below the neighbor's watermark is a resend or replay —
@@ -153,22 +176,23 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   // Merging one would silently double-weight (RMW) or permanently skew
   // (D-PSGD) that neighbor's stream. Checked before the depth cap so a
   // replay is reported as what it is.
-  const auto watermark = epoch_watermarks_.find(src);
-  REX_REQUIRE(watermark == epoch_watermarks_.end() ||
-                  payload.epoch > watermark->second,
-              "duplicate round message from the same neighbor");
+  NeighborSlot& pending = slots_[slot];
+  REX_REQUIRE(
+      pending.watermark < static_cast<std::int64_t>(input.payload.epoch),
+      "duplicate round message from the same neighbor");
   if (config_.algorithm == Algorithm::kDpsgd) {
     // Pipelining is provably at most one round deep — a neighbor's round
     // k+2 share needs our round k+1 share, which needs us to consume its
     // round k — so a third buffered payload is a scheduling bug (and would
     // grow enclave memory unboundedly).
-    const auto slot_it = pending_.find(src);
-    REX_REQUIRE(slot_it == pending_.end() || slot_it->second.size() < 2,
+    REX_REQUIRE(pending.inputs.size() < 2,
                 "D-PSGD neighbor more than one round ahead: scheduling bug");
   }
-  epoch_watermarks_[src] = payload.epoch;
-  pending_bytes_deserialized_ += plaintext.size();  // accepted messages only
-  pending_[src].push_back(PendingInput{std::move(payload), arrival_counter_++});
+  pending.watermark = static_cast<std::int64_t>(input.payload.epoch);
+  pending_bytes_deserialized_ += plaintext_size;  // accepted messages only
+  input.arrival = arrival_counter_++;
+  if (pending.inputs.empty()) ++filled_slots_;
+  pending.inputs.push_back(std::move(input));
 
   // D-PSGD readiness (Algorithm 2 line 13): a message from every neighbor.
   if (config_.algorithm == Algorithm::kDpsgd && round_ready()) {
@@ -193,8 +217,8 @@ void TrustedNode::ecall_train_due() {
 }
 
 bool TrustedNode::round_ready() const {
-  // Slots are erased when drained, so every key holds >= 1 payload.
-  return initialized_ && pending_.size() == neighbors_.size() &&
+  // filled_slots_ counts neighbors with >= 1 buffered payload.
+  return initialized_ && filled_slots_ == neighbors_.size() &&
          !neighbors_.empty();
 }
 
@@ -215,29 +239,32 @@ void TrustedNode::rex_protocol() {
 }
 
 void TrustedNode::merge_step() {
-  if (pending_.empty()) return;
+  if (filled_slots_ == 0) return;
 
   // This round's inputs: D-PSGD consumes exactly one payload per neighbor
   // (oldest first — event-driven pipelining may buffer several rounds from
   // a fast neighbor); RMW consumes everything since its last period, in
   // arrival order ("upon receiving a model, a node averages it", §III-C1 —
   // under the barrier, arrival order and neighbor-id order coincide).
-  std::vector<PendingInput> round;
-  round.reserve(pending_.size());
+  // Slots are visited in neighbor-rank order == ascending NodeId, the same
+  // iteration order the NodeId-keyed map used to give.
+  std::vector<PendingInput>& round = round_scratch_;
+  round.clear();
   if (config_.algorithm == Algorithm::kDpsgd) {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      std::vector<PendingInput>& slot = it->second;
-      round.push_back(std::move(slot.front()));
-      slot.erase(slot.begin());
-      it = slot.empty() ? pending_.erase(it) : std::next(it);
+    for (NeighborSlot& slot : slots_) {
+      if (slot.inputs.empty()) continue;
+      round.push_back(std::move(slot.inputs.front()));
+      slot.inputs.erase(slot.inputs.begin());
+      if (slot.inputs.empty()) --filled_slots_;
     }
   } else {
-    for (auto& [src, inputs] : pending_) {
-      for (PendingInput& input : inputs) {
+    for (NeighborSlot& slot : slots_) {
+      for (PendingInput& input : slot.inputs) {
         round.push_back(std::move(input));
       }
+      slot.inputs.clear();
     }
-    pending_.clear();
+    filled_slots_ = 0;
     std::sort(round.begin(), round.end(),
               [](const PendingInput& a, const PendingInput& b) {
                 return a.arrival < b.arrival;
@@ -292,6 +319,15 @@ void TrustedNode::merge_step() {
       ++counters_.models_merged;
     }
   }
+
+  // Recycle the consumed inputs: their ratings/model_blob buffers become
+  // the next deliveries' decode targets (cleared, capacity kept).
+  for (PendingInput& input : round) {
+    input.payload.ratings.clear();
+    input.payload.model_blob.clear();
+    input_pool_.push_back(std::move(input));
+  }
+  round.clear();
 }
 
 ml::RecModel& TrustedNode::alien_scratch(std::size_t index) {
@@ -327,17 +363,18 @@ void TrustedNode::train_step() {
 void TrustedNode::share_step() {
   if (neighbors_.empty()) return;
   const ProtocolPayload payload = build_share_payload();
-  // Encode once; only the per-peer encryption differs between destinations.
-  const Bytes plaintext = payload.encode();
+  // Encode once, into recycled pool storage when available; only the
+  // per-peer encryption differs between destinations.
+  Bytes plaintext =
+      payload.encode(payload_pool_ ? payload_pool_->acquire() : Bytes{});
 
   if (config_.algorithm == Algorithm::kRmw) {
     // One uniformly random neighbor (§III-C1).
-    const NodeId dst =
-        neighbors_[rng_.uniform(neighbors_.size())];
-    send_encoded(dst, plaintext);
+    const NodeId dst = neighbors_[rng_.uniform(neighbors_.size())];
+    share_with(std::span<const NodeId>(&dst, 1), std::move(plaintext));
   } else {
     // All neighbors (§III-C2).
-    for (NodeId dst : neighbors_) send_encoded(dst, plaintext);
+    share_with(neighbors_, std::move(plaintext));
   }
 }
 
@@ -367,24 +404,41 @@ ProtocolPayload TrustedNode::build_share_payload() {
   return payload;
 }
 
-void TrustedNode::send_encoded(NodeId dst, BytesView plaintext) {
-  counters_.bytes_serialized += plaintext.size();
-  Bytes wire;
+void TrustedNode::share_with(std::span<const NodeId> dsts, Bytes plaintext) {
   if (runtime_.secure()) {
-    REX_REQUIRE(attested_with(dst), "sharing with unattested peer");
-    auto& sess = session(dst);
-    const crypto::ChaChaNonce nonce = sess.next_send_nonce();
-    std::array<std::uint8_t, 8> aad{};
-    store_le32(aad.data(), id_);
-    store_le32(aad.data() + 4, dst);
-    wire = crypto::aead_seal(sess.session_key(), nonce, aad, plaintext);
-    runtime_.record_crypto(wire.size());
-  } else {
-    wire.assign(plaintext.begin(), plaintext.end());
+    // Per-destination ciphertexts: each attested session has its own key
+    // and nonce stream, so zero-copy fan-out stops at the sealing boundary.
+    for (NodeId dst : dsts) {
+      counters_.bytes_serialized += plaintext.size();
+      REX_REQUIRE(attested_with(dst), "sharing with unattested peer");
+      auto& sess = session(dst);
+      const crypto::ChaChaNonce nonce = sess.next_send_nonce();
+      std::array<std::uint8_t, 8> aad{};
+      store_le32(aad.data(), id_);
+      store_le32(aad.data() + 4, dst);
+      Bytes wire =
+          crypto::aead_seal(sess.session_key(), nonce, aad, plaintext);
+      runtime_.record_crypto(wire.size());
+      runtime_.record_ocall(wire.size());
+      ++counters_.messages_sent;
+      send_(dst, net::MessageKind::kProtocol, SharedBytes::wrap(std::move(wire)));
+    }
+    if (payload_pool_ != nullptr) payload_pool_->release(std::move(plaintext));
+    return;
   }
-  runtime_.record_ocall(wire.size());
-  ++counters_.messages_sent;
-  send_(dst, net::MessageKind::kProtocol, std::move(wire));
+  // Native runs: the plaintext *is* the wire. One refcounted buffer serves
+  // every edge — a share to k neighbors stores its bytes exactly once.
+  const std::size_t plaintext_size = plaintext.size();
+  const SharedBytes wire =
+      payload_pool_ != nullptr
+          ? SharedBytes::pooled(*payload_pool_, std::move(plaintext))
+          : SharedBytes::wrap(std::move(plaintext));
+  for (NodeId dst : dsts) {
+    counters_.bytes_serialized += plaintext_size;
+    runtime_.record_ocall(wire.size());
+    ++counters_.messages_sent;
+    send_(dst, net::MessageKind::kProtocol, wire);
+  }
 }
 
 void TrustedNode::test_step() {
@@ -403,8 +457,8 @@ std::size_t TrustedNode::memory_footprint() const {
   bytes += store_.capacity() * sizeof(data::Rating);
   bytes += store_index_.size() * 16;
   bytes += test_data_.capacity() * sizeof(data::Rating);
-  for (const auto& [src, inputs] : pending_) {
-    for (const PendingInput& input : inputs) {
+  for (const NeighborSlot& slot : slots_) {
+    for (const PendingInput& input : slot.inputs) {
       bytes += input.payload.model_blob.size() +
                input.payload.ratings.capacity() * sizeof(data::Rating);
     }

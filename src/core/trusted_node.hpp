@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -38,17 +39,21 @@ struct TrustedInit {
 class TrustedNode {
  public:
   /// `send` is the ocall_send proxy (Algorithm 1 lines 7-8): it receives the
-  /// destination and the (possibly encrypted) blob.
+  /// destination and the (possibly encrypted) blob as a refcounted buffer —
+  /// a fan-out to k neighbors passes the *same* storage k times.
   using SendFn =
-      std::function<void(NodeId dst, net::MessageKind kind, Bytes blob)>;
+      std::function<void(NodeId dst, net::MessageKind kind, SharedBytes blob)>;
 
+  /// `payload_pool` (optional) recycles outbound payload storage: encode
+  /// scratch is acquired from it and returns to it when the last envelope
+  /// referencing the blob is consumed.
   TrustedNode(const RexConfig& config, NodeId id,
               enclave::Runtime& runtime,
               const enclave::EnclaveIdentity& identity,
               const enclave::QuotingEnclave* quoting_enclave,
               const enclave::DcapVerifier* verifier,
               ml::ModelFactory model_factory, std::uint64_t seed,
-              SendFn send);
+              SendFn send, BufferPool* payload_pool = nullptr);
 
   // ===== Attestation phase (§III-A) =====
 
@@ -102,7 +107,11 @@ class TrustedNode {
   void share_step();
   void test_step();
 
-  void send_encoded(NodeId dst, BytesView plaintext);
+  /// Fans one encoded payload out to `dsts`. Native runs wrap the plaintext
+  /// into a single refcounted buffer shared by every edge (zero-copy); SGX
+  /// runs must seal per destination (each session has its own key/nonce
+  /// stream), so only the ciphertexts are per-edge.
+  void share_with(std::span<const NodeId> dsts, Bytes plaintext);
   [[nodiscard]] ProtocolPayload build_share_payload();
   /// Reusable alien-model buffer for merge_step (grown on demand).
   [[nodiscard]] ml::RecModel& alien_scratch(std::size_t index);
@@ -121,6 +130,7 @@ class TrustedNode {
   const enclave::DcapVerifier* verifier_;
   ml::ModelFactory model_factory_;
   SendFn send_;
+  BufferPool* payload_pool_;  // outbound payload recycling (nullable)
 
   Rng rng_;             // training / sampling / neighbor choice
   crypto::Drbg drbg_;   // attestation key material
@@ -142,16 +152,35 @@ class TrustedNode {
     std::uint64_t arrival = 0;
   };
 
-  /// Pending inputs keyed by source, FIFO per neighbor. D-PSGD consumes one
-  /// payload per neighbor per round and admits at most two buffered (the
-  /// event-driven pipeline is provably one round deep; a third is a
-  /// duplicate send). RMW buffers every arrival since the last period —
-  /// a fast neighbor can legitimately deliver several times between two of
-  /// our train timers (§III-C1).
-  std::map<NodeId, std::vector<PendingInput>> pending_;
-  /// Highest epoch ever buffered per neighbor: rejects replays of epochs
-  /// that were already consumed (the slot alone cannot see those).
-  std::map<NodeId, std::uint64_t> epoch_watermarks_;
+  /// Index of `src` in the sorted neighbors_ list; throws on non-neighbor.
+  [[nodiscard]] std::size_t neighbor_index(NodeId src) const;
+  /// (Re)sizes the per-neighbor slot arrays after neighbors_ changes.
+  void reset_neighbor_state();
+  /// Recycled PendingInput (freelist pop or fresh).
+  [[nodiscard]] PendingInput acquire_input();
+
+  /// Per-neighbor receive state (indexed by neighbor rank, parallel to
+  /// neighbors_): the FIFO of buffered inputs plus the replay watermark —
+  /// the highest epoch ever buffered (-1 = none), which rejects replays of
+  /// epochs already consumed (the FIFO alone cannot see those). D-PSGD
+  /// consumes one payload per neighbor per round and admits at most two
+  /// buffered (the event-driven pipeline is provably one round deep; a
+  /// third is a duplicate send). RMW buffers every arrival since the last
+  /// period — a fast neighbor can legitimately deliver several times
+  /// between two of our train timers (§III-C1). One flat vector, not a
+  /// NodeId-keyed map: the receive path at 10k nodes must not pay tree-node
+  /// allocations (or extra cache lines) per delivery.
+  struct NeighborSlot {
+    std::int64_t watermark = -1;
+    std::vector<PendingInput> inputs;
+  };
+  std::vector<NeighborSlot> slots_;
+  /// Slots currently holding >= 1 input (D-PSGD readiness test in O(1)).
+  std::size_t filled_slots_ = 0;
+  /// Spent PendingInputs, recycled so decode_into reuses their ratings /
+  /// model_blob capacity instead of allocating per delivery.
+  std::vector<PendingInput> input_pool_;
+  std::vector<PendingInput> round_scratch_;  // merge_step staging
   std::uint64_t arrival_counter_ = 0;
 
   std::uint64_t epoch_ = 0;

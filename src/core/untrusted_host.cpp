@@ -12,8 +12,9 @@ UntrustedHost::UntrustedHost(const RexConfig& config, NodeId id,
                              std::uint64_t seed, net::Transport& transport)
     : id_(id), runtime_(config.security, config.epc), transport_(transport) {
   // ocall_send (Algorithm 1 lines 7-8): wrap the enclave's output blob into
-  // an envelope and hand it to the network.
-  auto send = [this](NodeId dst, net::MessageKind kind, Bytes blob) {
+  // an envelope and hand it to the network. The blob is refcounted, so a
+  // fan-out passes the same storage through here once per edge.
+  auto send = [this](NodeId dst, net::MessageKind kind, SharedBytes blob) {
     net::Envelope env;
     env.src = id_;
     env.dst = dst;
@@ -23,7 +24,8 @@ UntrustedHost::UntrustedHost(const RexConfig& config, NodeId id,
   };
   trusted_ = std::make_unique<TrustedNode>(
       config, id, runtime_, identity, quoting_enclave, verifier,
-      std::move(model_factory), seed, std::move(send));
+      std::move(model_factory), seed, std::move(send),
+      &transport.payload_pool());
 }
 
 void UntrustedHost::initialize(TrustedInit init) {

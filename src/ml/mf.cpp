@@ -89,33 +89,40 @@ void MfModel::merge(std::span<const MergeSource> sources, double self_weight) {
     peers.push_back(peer);
   }
 
-  const std::size_t k = config_.embedding_dim;
-  std::vector<float> accum(k);
-
   // User rows: only holders of a row participate; weights renormalize over
   // the participating subset (paper §III-C2). A row nobody has seen keeps
-  // this node's (randomly initialized) values.
+  // this node's (randomly initialized) values. The weighted average is
+  // computed in place: the first participating peer folds the self term in
+  // via one fused weighted_sum_inplace pass (dst = w_self*dst + w_peer*peer)
+  // and later peers axpy on top — no zero-filled temp row, no copy-back.
+  // The rounding sequence (one multiply per term, one add per sum step) is
+  // identical to the old accumulator's, so merges are bit-stable.
   for (data::UserId u = 0; u < config_.n_users; ++u) {
     double total = seen_user_[u] ? self_weight : 0.0;
     for (std::size_t s = 0; s < peers.size(); ++s) {
       if (peers[s]->seen_user_[u]) total += sources[s].weight;
     }
     if (total <= 0.0) continue;
-    linalg::fill(accum, 0.0f);
-    float bias = 0.0f;
-    if (seen_user_[u]) {
-      const float w = static_cast<float>(self_weight / total);
-      linalg::axpy(w, user_embeddings_.row(u), accum);
-      bias += w * user_bias_[u];
-    }
+    const auto row = user_embeddings_.row(u);
+    const float self_w =
+        seen_user_[u] ? static_cast<float>(self_weight / total) : 0.0f;
+    float bias = seen_user_[u] ? self_w * user_bias_[u] : 0.0f;
+    bool fused = false;  // row already rescaled into the weighted sum
     for (std::size_t s = 0; s < peers.size(); ++s) {
       if (!peers[s]->seen_user_[u]) continue;
       const float w = static_cast<float>(sources[s].weight / total);
-      linalg::axpy(w, peers[s]->user_embeddings_.row(u), accum);
+      if (!fused) {
+        linalg::weighted_sum_inplace(row, self_w,
+                                     peers[s]->user_embeddings_.row(u), w);
+        fused = true;
+      } else {
+        linalg::axpy(w, peers[s]->user_embeddings_.row(u), row);
+      }
       bias += w * peers[s]->user_bias_[u];
       seen_user_[u] = 1;  // row knowledge propagates with the merge
     }
-    std::copy(accum.begin(), accum.end(), user_embeddings_.row(u).begin());
+    // Self the only participant degenerates to w_self == 1: row and bias
+    // are left exactly as they were.
     user_bias_[u] = bias;
   }
 
@@ -126,21 +133,24 @@ void MfModel::merge(std::span<const MergeSource> sources, double self_weight) {
       if (peers[s]->seen_item_[i]) total += sources[s].weight;
     }
     if (total <= 0.0) continue;
-    linalg::fill(accum, 0.0f);
-    float bias = 0.0f;
-    if (seen_item_[i]) {
-      const float w = static_cast<float>(self_weight / total);
-      linalg::axpy(w, item_embeddings_.row(i), accum);
-      bias += w * item_bias_[i];
-    }
+    const auto row = item_embeddings_.row(i);
+    const float self_w =
+        seen_item_[i] ? static_cast<float>(self_weight / total) : 0.0f;
+    float bias = seen_item_[i] ? self_w * item_bias_[i] : 0.0f;
+    bool fused = false;
     for (std::size_t s = 0; s < peers.size(); ++s) {
       if (!peers[s]->seen_item_[i]) continue;
       const float w = static_cast<float>(sources[s].weight / total);
-      linalg::axpy(w, peers[s]->item_embeddings_.row(i), accum);
+      if (!fused) {
+        linalg::weighted_sum_inplace(row, self_w,
+                                     peers[s]->item_embeddings_.row(i), w);
+        fused = true;
+      } else {
+        linalg::axpy(w, peers[s]->item_embeddings_.row(i), row);
+      }
       bias += w * peers[s]->item_bias_[i];
       seen_item_[i] = 1;
     }
-    std::copy(accum.begin(), accum.end(), item_embeddings_.row(i).begin());
     item_bias_[i] = bias;
   }
 }

@@ -2,12 +2,17 @@
 //
 // The envelope metadata (src, dst, kind) travels in cleartext like TCP/ZMQ
 // headers would; the payload is ciphertext between attested SGX nodes and
-// plaintext in native runs (paper §III-B).
+// plaintext in native runs (paper §III-B). The payload is a refcounted
+// SharedBytes: a node fanning one blob out to k neighbors serializes (and
+// stores) it once, and every per-edge envelope holds a reference — traffic
+// accounting still charges each edge the full wire size, because that is
+// what a real network would carry.
 #pragma once
 
 #include <cstdint>
 
 #include "support/bytes.hpp"
+#include "support/pool.hpp"
 
 namespace rex::net {
 
@@ -22,7 +27,7 @@ struct Envelope {
   NodeId src = 0;
   NodeId dst = 0;
   MessageKind kind = MessageKind::kProtocol;
-  Bytes payload;
+  SharedBytes payload;
   /// Transport bookkeeping (not on the wire): routing order stamp used to
   /// merge sharded inboxes back into deterministic delivery order.
   std::uint64_t arrival = 0;

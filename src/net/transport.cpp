@@ -5,10 +5,7 @@
 namespace rex::net {
 
 Transport::Transport(std::size_t node_count)
-    : outboxes_(node_count),
-      inboxes_(node_count),
-      stats_(node_count),
-      epoch_stats_(node_count) {}
+    : outboxes_(node_count), inboxes_(node_count), traffic_(node_count) {}
 
 void Transport::check_node(NodeId node) const {
   REX_REQUIRE(node < outboxes_.size(), "transport node id out of range");
@@ -23,18 +20,20 @@ void Transport::send(Envelope env) {
 
 void Transport::record_send(const Envelope& env) {
   const std::size_t wire = env.wire_size();
-  stats_[env.src].messages_sent++;
-  stats_[env.src].bytes_sent += wire;
-  epoch_stats_[env.src].messages_sent++;
-  epoch_stats_[env.src].bytes_sent += wire;
+  NodeTraffic& traffic = traffic_[env.src];
+  traffic.total.messages_sent++;
+  traffic.total.bytes_sent += wire;
+  traffic.epoch.messages_sent++;
+  traffic.epoch.bytes_sent += wire;
 }
 
 void Transport::record_delivery(const Envelope& env) {
   const std::size_t wire = env.wire_size();
-  stats_[env.dst].messages_received++;
-  stats_[env.dst].bytes_received += wire;
-  epoch_stats_[env.dst].messages_received++;
-  epoch_stats_[env.dst].bytes_received += wire;
+  NodeTraffic& traffic = traffic_[env.dst];
+  traffic.total.messages_received++;
+  traffic.total.bytes_received += wire;
+  traffic.epoch.messages_received++;
+  traffic.epoch.bytes_received += wire;
 }
 
 void Transport::flush_round() {
@@ -86,36 +85,40 @@ std::size_t Transport::inbox_size(NodeId node) const {
 }
 
 std::vector<Envelope> Transport::take_outbox(NodeId src) {
+  std::vector<Envelope> out;
+  take_outbox(src, out);
+  return out;
+}
+
+void Transport::take_outbox(NodeId src, std::vector<Envelope>& out) {
   check_node(src);
   std::deque<Envelope>& outbox = outboxes_[src];
-  std::vector<Envelope> out;
-  out.reserve(outbox.size());
+  out.reserve(out.size() + outbox.size());
   while (!outbox.empty()) {
     record_send(outbox.front());
     out.push_back(std::move(outbox.front()));
     outbox.pop_front();
   }
-  return out;
 }
 
 const TrafficStats& Transport::stats(NodeId node) const {
   check_node(node);
-  return stats_[node];
+  return traffic_[node].total;
 }
 
 std::uint64_t Transport::total_bytes_sent() const {
   std::uint64_t total = 0;
-  for (const TrafficStats& s : stats_) total += s.bytes_sent;
+  for (const NodeTraffic& t : traffic_) total += t.total.bytes_sent;
   return total;
 }
 
 void Transport::reset_epoch_stats() {
-  for (TrafficStats& s : epoch_stats_) s = TrafficStats{};
+  for (NodeTraffic& t : traffic_) t.epoch = TrafficStats{};
 }
 
 const TrafficStats& Transport::epoch_stats(NodeId node) const {
   check_node(node);
-  return epoch_stats_[node];
+  return traffic_[node].epoch;
 }
 
 }  // namespace rex::net

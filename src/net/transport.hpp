@@ -80,6 +80,15 @@ class Transport {
   /// accounting the send side of the traffic. The caller owns delivery.
   [[nodiscard]] std::vector<Envelope> take_outbox(NodeId src);
 
+  /// Allocation-free variant: appends to `out` (typically a recycled
+  /// SlotPool vector) instead of returning a fresh vector.
+  void take_outbox(NodeId src, std::vector<Envelope>& out);
+
+  /// Shared recycling pool for payload buffers: senders acquire encode
+  /// scratch here and wrap it into SharedBytes::pooled, so payload storage
+  /// cycles back after the last envelope referencing it is consumed.
+  [[nodiscard]] BufferPool& payload_pool() { return payload_pool_; }
+
   /// Accounts the receive side for one envelope the engine is handing to
   /// its destination host. Touches only env.dst's counters, so concurrent
   /// calls for distinct destinations are safe.
@@ -104,10 +113,23 @@ class Transport {
 
   using InboxShards = std::array<std::deque<Envelope>, kInboxShards>;
 
+  /// Cumulative + per-epoch counters for one node, kept adjacent so one
+  /// accounting update touches a single cache line (at 10k nodes every
+  /// delivery hits a random node's counters; two parallel vectors cost two
+  /// misses where one struct costs one).
+  struct NodeTraffic {
+    TrafficStats total;
+    TrafficStats epoch;
+  };
+  static_assert(sizeof(NodeTraffic) <= 64, "one cache line per node");
+
+  /// Declared before the mailboxes on purpose: envelopes queued in them
+  /// release payload storage back into this pool on destruction, so the
+  /// pool must be destroyed last (members destruct in reverse order).
+  BufferPool payload_pool_;
   std::vector<std::deque<Envelope>> outboxes_;  // indexed by sender
   std::vector<InboxShards> inboxes_;            // indexed by receiver
-  std::vector<TrafficStats> stats_;
-  std::vector<TrafficStats> epoch_stats_;
+  std::vector<NodeTraffic> traffic_;            // indexed by node
   std::uint64_t next_arrival_ = 0;  // routing order stamp (flush_round only)
 };
 

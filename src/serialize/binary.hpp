@@ -16,6 +16,12 @@ namespace rex::serialize {
 class BinaryWriter {
  public:
   BinaryWriter() = default;
+  /// Recycles `scratch`'s heap capacity as the output buffer (cleared
+  /// first): hot-path encoders pull scratch from a BufferPool instead of
+  /// growing a fresh vector per message.
+  explicit BinaryWriter(Bytes scratch) : out_(std::move(scratch)) {
+    out_.clear();
+  }
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v);

@@ -25,8 +25,7 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
   REX_REQUIRE(n >= 1, "engine needs at least one node");
   REX_REQUIRE(topology_.node_count() == n, "topology/hosts size mismatch");
   nodes_.resize(n);
-  epochs_seen_.assign(n, 0);
-  traffic_marks_.assign(n, net::TrafficStats{});
+  group_refs_.assign(n, GroupRef{});
   jitter_rngs_.reserve(n);
   Rng master(config_.seed ^ 0x0E7E27D21FE27ULL);  // independent jitter seed
   for (std::size_t id = 0; id < n; ++id) {
@@ -43,13 +42,13 @@ void SimEngine::require_initialized() const {
 }
 
 void SimEngine::schedule(SimTime time, core::NodeId node, EventKind kind,
-                         std::uint64_t* out_seq) {
+                         std::uint32_t slot) {
   Event event;
   event.time = time;
   event.seq = next_seq_++;
   event.node = node;
   event.kind = kind;
-  if (out_seq != nullptr) *out_seq = event.seq;
+  event.slot = slot;
   queue_.push(event);
 }
 
@@ -71,6 +70,30 @@ double SimEngine::epoch_slowdown(core::NodeId id) {
   return factor;
 }
 
+void SimEngine::note_epochs_done(core::NodeId id, std::uint64_t count) {
+  NodeStatus& status = nodes_[id];
+  const std::uint64_t before = status.epochs_done;
+  status.epochs_done += count;
+  if (targets_active_ && before < status.epoch_target &&
+      status.epochs_done >= status.epoch_target) {
+    REX_CHECK(nodes_below_target_ > 0, "below-target counter underflow");
+    --nodes_below_target_;
+  }
+}
+
+SimEngine::SchedulerStats SimEngine::scheduler_stats() const {
+  SchedulerStats stats;
+  stats.events = events_processed_;
+  stats.batches = batches_processed_;
+  stats.queue_resizes = queue_.stats().resizes;
+  stats.direct_searches = queue_.stats().direct_searches;
+  stats.queue_peak = queue_.stats().max_size;
+  stats.delivery_slots = delivery_slots_.slots_allocated();
+  stats.share_slots = share_slots_.slots_allocated();
+  stats.epoch_slots = epoch_slots_.slots_allocated();
+  return stats;
+}
+
 // ===== Attestation (pre-protocol phase, §III-A) =====
 
 void SimEngine::run_attestation() {
@@ -87,8 +110,7 @@ void SimEngine::run_attestation() {
   constexpr std::size_t kMaxSteps = 8;
   schedule(clock_, 0, EventKind::kAttestStep);
   while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+    const Event event = queue_.pop();
     REX_CHECK(event.kind == EventKind::kAttestStep,
               "non-attestation event before initialize()");
     ++events_processed_;
@@ -144,7 +166,7 @@ void SimEngine::initialize(std::vector<data::NodeShard> shards) {
     // Event mode: every node starts epoch 0 on its own timeline at t = 0.
     // Attestation traffic stays out of the epoch accounting.
     for (core::NodeId id = 0; id < n; ++id) {
-      traffic_marks_[id] = transport_.stats(id);
+      nodes_[id].traffic_mark = transport_.stats(id);
     }
     for (core::NodeId id = 0; id < n; ++id) {
       post_epoch(id, SimTime{0.0});
@@ -201,7 +223,7 @@ void SimEngine::collect_round_record() {
       stages.share = stages.share * factor;
       stages.test = stages.test * factor;
     }
-    ++nodes_[id].epochs_done;
+    note_epochs_done(id, 1);
 
     slowest = std::max(slowest, stages.total());
     record.mean_stages.merge += stages.merge;
@@ -251,14 +273,14 @@ void SimEngine::apply_event_math(const Event& event) {
   ++status.events_processed;
   switch (event.kind) {
     case EventKind::kDeliver: {
-      const auto it = in_flight_.find(event.seq);
-      REX_CHECK(it != in_flight_.end(), "deliver event without envelope");
+      const net::Envelope& env = delivery_slots_[event.slot];
+      REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
       if (!status.online && event.time >= status.offline_since) {
         ++status.deliveries_dropped;  // lost to churn
         return;
       }
-      transport_.record_delivery(it->second);
-      hosts_[event.node]->on_deliver(it->second);
+      transport_.record_delivery(env);
+      hosts_[event.node]->on_deliver(env);
       return;
     }
     case EventKind::kTrain: {
@@ -266,7 +288,7 @@ void SimEngine::apply_event_math(const Event& event) {
       if (!status.online) return;  // churned: kChurnUp restarts the timer
       if (rex_.algorithm == core::Algorithm::kDpsgd &&
           hosts_[event.node]->trusted().epochs_completed() >
-              epochs_seen_[event.node]) {
+              status.epochs_seen) {
         // A delivery in this same batch already ran an epoch; running the
         // catch-up now would fold two epochs into one metrics record.
         // post_epoch reschedules it if the next round is still buffered.
@@ -289,27 +311,28 @@ void SimEngine::apply_event_math(const Event& event) {
 void SimEngine::serial_event_hook(const Event& event) {
   switch (event.kind) {
     case EventKind::kDeliver:
-      in_flight_.erase(event.seq);
+      // Drop the payload reference now (returning pooled storage to the
+      // sender side) rather than when the slot is next overwritten.
+      delivery_slots_[event.slot] = net::Envelope{};
+      delivery_slots_.release(event.slot);
       return;
     case EventKind::kShare: {
-      const auto it = share_batches_.find(event.seq);
-      REX_CHECK(it != share_batches_.end(), "share event without batch");
-      for (net::Envelope& env : it->second) {
+      std::vector<net::Envelope>& batch = share_slots_[event.slot];
+      for (net::Envelope& env : batch) {
         // Per-edge delivery: each envelope propagates independently.
         const SimTime deliver_at = event.time + cost_model_.round_latency();
-        std::uint64_t seq = 0;
-        schedule(deliver_at, env.dst, EventKind::kDeliver, &seq);
-        in_flight_.emplace(seq, std::move(env));
+        const std::uint32_t slot = delivery_slots_.acquire();
+        delivery_slots_[slot] = std::move(env);
+        schedule(deliver_at, delivery_slots_[slot].dst, EventKind::kDeliver,
+                 slot);
       }
-      share_batches_.erase(it);
+      batch.clear();
+      share_slots_.release(event.slot);
       return;
     }
     case EventKind::kTest: {
-      const auto it = pending_epochs_.find(event.seq);
-      REX_CHECK(it != pending_epochs_.end(), "test event without epoch");
-      const PendingEpoch& pe = it->second;
-      NodeStatus& status = nodes_[event.node];
-      ++status.epochs_done;
+      const PendingEpoch& pe = epoch_slots_[event.slot];
+      note_epochs_done(event.node, 1);
 
       const std::size_t epoch = static_cast<std::size_t>(pe.counters.epoch);
       if (buckets_.size() <= epoch) buckets_.resize(epoch + 1);
@@ -330,7 +353,7 @@ void SimEngine::serial_event_hook(const Event& event) {
       bucket.stage_max.test = std::max(bucket.stage_max.test, pe.stages.test);
 
       const net::TrafficStats& cumulative = transport_.stats(event.node);
-      net::TrafficStats& mark = traffic_marks_[event.node];
+      net::TrafficStats& mark = nodes_[event.node].traffic_mark;
       bucket.bytes_sum +=
           static_cast<double>(cumulative.bytes_total() - mark.bytes_total());
       mark = cumulative;
@@ -343,7 +366,7 @@ void SimEngine::serial_event_hook(const Event& event) {
       bucket.duplicates += pe.counters.duplicates_dropped;
       bucket.duration_sum += pe.end - pe.start;
       bucket.last_end = std::max(bucket.last_end, pe.end);
-      pending_epochs_.erase(it);
+      epoch_slots_.release(event.slot);
       return;
     }
     case EventKind::kChurnUp: {
@@ -383,23 +406,27 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
   status.busy_until = end;
 
   // Shares queued during the protocol run hit the wire when the share
-  // stage completes; each envelope then propagates per edge.
-  std::vector<net::Envelope> outbox = transport_.take_outbox(id);
+  // stage completes; each envelope then propagates per edge. The batch
+  // vector is a recycled slot — drained outboxes cost no allocation once
+  // the pool is warm.
+  const std::uint32_t share_slot = share_slots_.acquire();
+  std::vector<net::Envelope>& outbox = share_slots_[share_slot];
+  outbox.clear();
+  transport_.take_outbox(id, outbox);
   if (!outbox.empty()) {
-    std::uint64_t seq = 0;
-    schedule(share_release, id, EventKind::kShare, &seq);
-    share_batches_.emplace(seq, std::move(outbox));
+    schedule(share_release, id, EventKind::kShare, share_slot);
+  } else {
+    share_slots_.release(share_slot);
   }
 
   {
-    std::uint64_t seq = 0;
-    schedule(end, id, EventKind::kTest, &seq);
-    PendingEpoch pe;
+    const std::uint32_t epoch_slot = epoch_slots_.acquire();
+    PendingEpoch& pe = epoch_slots_[epoch_slot];
     pe.counters = host.trusted().last_epoch();
     pe.stages = stages;
     pe.start = begin;
     pe.end = end;
-    pending_epochs_.emplace(seq, std::move(pe));
+    schedule(end, id, EventKind::kTest, epoch_slot);
   }
 
   host.runtime().reset_epoch_counters();
@@ -407,12 +434,12 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
   // time ties (catch-up train + last arrival). Their metrics fold into this
   // one record; count the folded epochs so run_epochs targets stay exact.
   const std::uint64_t completed = host.trusted().epochs_completed();
-  const std::uint64_t delta = completed - epochs_seen_[id];
+  const std::uint64_t delta = completed - status.epochs_seen;
   if (delta > 1) {
-    status.epochs_done += delta - 1;
+    note_epochs_done(id, delta - 1);
     status.epochs_folded += delta - 1;
   }
-  epochs_seen_[id] = completed;
+  status.epochs_seen = completed;
 
   // RMW trains on its period (a real timer); 0 = self-paced back-to-back.
   if (rex_.algorithm == core::Algorithm::kRmw) {
@@ -449,40 +476,60 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
 
 bool SimEngine::process_next_batch() {
   if (queue_.empty()) return false;
-  const SimTime t = queue_.top().time;
-  std::vector<Event> batch;
-  while (!queue_.empty() && queue_.top().time == t) {
-    batch.push_back(queue_.top());
-    queue_.pop();
-  }
+  batch_.clear();
+  queue_.pop_time_batch(batch_);
+  const SimTime t = batch_.front().time;
   clock_ = std::max(clock_, t);
-  events_processed_ += batch.size();
+  events_processed_ += batch_.size();
+  ++batches_processed_;
+
+  // Fast path: most batches hold a single event (distinct timestamps), for
+  // which grouping and the worker handoff are pure overhead. Semantics are
+  // identical — one event is trivially "in seq order within its node".
+  if (batch_.size() == 1) {
+    const Event& event = batch_.front();
+    apply_event_math(event);
+    serial_event_hook(event);
+    if (hosts_[event.node]->trusted().epochs_completed() >
+        nodes_[event.node].epochs_seen) {
+      post_epoch(event.node, t);
+    }
+    return true;
+  }
 
   // Parallel math phase: group by node (nodes own disjoint state), one
-  // work-stealing shard per node, events within a node in seq order.
-  std::vector<std::vector<const Event*>> groups;
-  std::unordered_map<core::NodeId, std::size_t> group_of;
-  for (const Event& event : batch) {  // batch is already seq-sorted
-    const auto [it, inserted] =
-        group_of.try_emplace(event.node, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(&event);
+  // work-stealing shard per node, events within a node in seq order. The
+  // grouping containers are all recycled: stamps make the per-node lookup
+  // table reset lazily instead of O(n) per batch.
+  for (std::size_t g = 0; g < groups_used_; ++g) groups_[g].clear();
+  groups_used_ = 0;
+  ++batch_stamp_;
+  for (const Event& event : batch_) {  // batch is already seq-sorted
+    GroupRef& ref = group_refs_[event.node];
+    if (ref.stamp != batch_stamp_) {
+      ref.stamp = batch_stamp_;
+      ref.slot = static_cast<std::uint32_t>(groups_used_);
+      if (groups_used_ == groups_.size()) groups_.emplace_back();
+      ++groups_used_;
+    }
+    groups_[ref.slot].push_back(&event);
   }
-  pool_.parallel_shards(groups.size(), [&](std::size_t g) {
-    for (const Event* event : groups[g]) apply_event_math(*event);
+  pool_.parallel_shards(groups_used_, [&](std::size_t g) {
+    for (const Event* event : groups_[g]) apply_event_math(*event);
   });
 
   // Serial scheduling phase: event hooks in seq order, then completed
   // protocol runs in node-id order — deterministic regardless of threads.
   // Only nodes that processed an event this batch can have completed an
   // epoch, so sweep those, not all n (batches are usually a single event).
-  for (const Event& event : batch) serial_event_hook(event);
-  std::vector<core::NodeId> batch_nodes;
-  batch_nodes.reserve(groups.size());
-  for (const auto& group : groups) batch_nodes.push_back(group.front()->node);
-  std::sort(batch_nodes.begin(), batch_nodes.end());
-  for (const core::NodeId id : batch_nodes) {
-    if (hosts_[id]->trusted().epochs_completed() > epochs_seen_[id]) {
+  for (const Event& event : batch_) serial_event_hook(event);
+  batch_nodes_.clear();
+  for (std::size_t g = 0; g < groups_used_; ++g) {
+    batch_nodes_.push_back(groups_[g].front()->node);
+  }
+  std::sort(batch_nodes_.begin(), batch_nodes_.end());
+  for (const core::NodeId id : batch_nodes_) {
+    if (hosts_[id]->trusted().epochs_completed() > nodes_[id].epochs_seen) {
       post_epoch(id, t);
     }
   }
@@ -500,26 +547,26 @@ void SimEngine::run_epochs(std::size_t epochs) {
   // yet) — the same count a barrier run of `epochs` rounds after
   // initialize() produces; the max() keeps "epochs further" correct when a
   // run_until() already recorded some. Later calls extend the target.
-  if (epoch_targets_.empty()) {
-    epoch_targets_.resize(n);
+  if (!targets_active_) {
+    targets_active_ = true;
     for (std::size_t id = 0; id < n; ++id) {
-      epoch_targets_[id] =
+      nodes_[id].epoch_target =
           std::max<std::uint64_t>(epochs + 1, nodes_[id].epochs_done + epochs);
     }
   } else {
-    for (std::uint64_t& target : epoch_targets_) target += epochs;
+    for (NodeStatus& status : nodes_) status.epoch_target += epochs;
+  }
+  // Census once per call (O(n)); process_next_batch then maintains the
+  // counter incrementally as nodes cross their targets.
+  nodes_below_target_ = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (nodes_[id].epochs_done < nodes_[id].epoch_target) ++nodes_below_target_;
   }
   // Runaway guard: orders of magnitude above any legitimate schedule.
   const std::uint64_t cap =
       events_processed_ + 1'000'000 +
       static_cast<std::uint64_t>(epochs) * n * 1000;
-  const auto all_reached = [&] {
-    for (std::size_t id = 0; id < n; ++id) {
-      if (nodes_[id].epochs_done < epoch_targets_[id]) return false;
-    }
-    return true;
-  };
-  while (!all_reached()) {
+  while (nodes_below_target_ > 0) {
     REX_REQUIRE(events_processed_ < cap,
                 "event engine runaway: check period/churn configuration");
     if (!process_next_batch()) {

@@ -1,7 +1,7 @@
 // Event-driven simulation engine.
 //
 // Replaces the fixed barrier loop as the core of the simulation stack: a
-// deterministic simulated-time priority queue of per-node events (deliver,
+// deterministic simulated-time event queue of per-node events (deliver,
 // train, share, test, attest-step, churn-up) driven by the CostModel, so
 // each node advances at its own simulated speed instead of waiting on the
 // slowest peer. Two scheduling disciplines:
@@ -29,12 +29,20 @@
 // visits nodes in id order — so event sequence numbers, RNG draws, and
 // therefore entire ExperimentResults are identical for a given seed
 // regardless of worker-thread count.
+//
+// Scale: the queue is a bucketed calendar queue (O(1) amortized vs the
+// binary heap's O(log n), identical (time, seq) pop order — see
+// support/calendar_queue.hpp), per-event state lives in SlotPool slots
+// addressed by Event::slot instead of seq-keyed hash maps, the per-batch
+// grouping containers are recycled across batches, and run_epochs tracks
+// an incremental below-target node counter instead of rescanning all n
+// nodes per batch. Together these keep the scheduler's cost per event flat
+// in the node count (profiled at 10k nodes by
+// `bench_async_stragglers --paper-scale`).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -45,6 +53,8 @@
 #include "sim/cost_model.hpp"
 #include "sim/event.hpp"
 #include "sim/metrics.hpp"
+#include "support/calendar_queue.hpp"
+#include "support/pool.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -87,7 +97,10 @@ class SimEngine {
     std::uint64_t seed = 1;
   };
 
-  /// Per-node engine-side state, exposed for tests and benches.
+  /// Per-node engine-side state, exposed for tests and benches. All of a
+  /// node's scheduling state lives in this one struct (not parallel
+  /// vectors) on purpose: at 10k nodes every event lands on a random node,
+  /// and each extra array means another cold cache line per event.
   struct NodeStatus {
     double slowdown = 1.0;           // static speed factor (duration scale)
     bool online = true;
@@ -104,6 +117,25 @@ class SimEngine {
     /// effect when the churning epoch *ends*, so deliveries that arrive
     /// while the node is still simulated-computing are not dropped.
     SimTime offline_since;
+    /// Math-time epoch watermark (epochs the engine has accounted for).
+    std::uint64_t epochs_seen = 0;
+    /// run_epochs() goal (valid while targets are active).
+    std::uint64_t epoch_target = 0;
+    /// Cumulative traffic at the last kTest record (per-epoch deltas).
+    net::TrafficStats traffic_mark;
+  };
+
+  /// Scheduler-overhead counters for the scale benches: how much engine
+  /// bookkeeping ran around the node math.
+  struct SchedulerStats {
+    std::uint64_t events = 0;            // events executed
+    std::uint64_t batches = 0;           // same-timestamp batches
+    std::uint64_t queue_resizes = 0;     // calendar bucket re-fits
+    std::uint64_t direct_searches = 0;   // calendar ring misses
+    std::size_t queue_peak = 0;          // high-water queued events
+    std::size_t delivery_slots = 0;      // in-flight envelope pool size
+    std::size_t share_slots = 0;         // share batch pool size
+    std::size_t epoch_slots = 0;         // pending epoch pool size
   };
 
   /// The engine borrows everything: the Simulator (or a test rig) owns the
@@ -137,6 +169,7 @@ class SimEngine {
   void run_until(SimTime horizon);
 
   [[nodiscard]] EngineMode mode() const { return config_.mode; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] SimTime now() const { return clock_; }
   [[nodiscard]] std::size_t attestation_rounds() const {
     return attestation_rounds_;
@@ -147,18 +180,22 @@ class SimEngine {
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
   }
+  [[nodiscard]] SchedulerStats scheduler_stats() const;
 
  private:
   // ===== shared =====
   void require_initialized() const;
   void schedule(SimTime time, core::NodeId node, EventKind kind,
-                std::uint64_t* out_seq = nullptr);
+                std::uint32_t slot = 0);
   /// schedule(kTrain) + the per-node pending-timer count that keeps churn
   /// recovery from spawning parallel timer chains.
   void schedule_train(SimTime time, core::NodeId node);
   /// Duration multiplier for one node epoch: static slowdown x straggler
   /// draw (one draw sequence per node per epoch, identical in both modes).
   [[nodiscard]] double epoch_slowdown(core::NodeId id);
+  /// Advances a node's epochs_done and maintains the incremental
+  /// below-target counter run_epochs spins on.
+  void note_epochs_done(core::NodeId id, std::uint64_t count);
   void collect_round_record();
 
   // ===== barrier mode =====
@@ -211,24 +248,44 @@ class SimEngine {
   ExperimentResult& result_;
   Config config_;
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  CalendarQueue<Event, EventCalendarKey> queue_;
   std::uint64_t next_seq_ = 0;
   SimTime clock_;
   std::size_t attestation_rounds_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t batches_processed_ = 0;
   bool initialized_ = false;
 
   std::vector<NodeStatus> nodes_;
   std::vector<Rng> jitter_rngs_;        // one independent stream per node
-  std::vector<std::uint64_t> epochs_seen_;  // math-time epoch watermark
-  std::vector<std::uint64_t> epoch_targets_;  // run_epochs() goals per node
-  std::vector<net::TrafficStats> traffic_marks_;
+  /// Whether run_epochs() targets are in force (epoch_target fields valid).
+  bool targets_active_ = false;
+  /// Nodes with epochs_done < epoch_target — re-censused when targets
+  /// change, decremented as nodes cross their target; run_epochs spins on
+  /// this instead of an O(n) all-nodes rescan per batch.
+  std::size_t nodes_below_target_ = 0;
 
-  std::unordered_map<std::uint64_t, net::Envelope> in_flight_;   // kDeliver
-  std::unordered_map<std::uint64_t, std::vector<net::Envelope>>
-      share_batches_;                                            // kShare
-  std::unordered_map<std::uint64_t, PendingEpoch> pending_epochs_;  // kTest
+  // Per-event state, slot-addressed through Event::slot (no hash maps on
+  // the event path). Released slots keep their heap capacity, so share
+  // batch vectors recycle across epochs.
+  SlotPool<net::Envelope> delivery_slots_;             // kDeliver
+  SlotPool<std::vector<net::Envelope>> share_slots_;   // kShare
+  SlotPool<PendingEpoch> epoch_slots_;                 // kTest
   std::vector<EpochBucket> buckets_;
+
+  // Recycled batch scratch (process_next_batch): cleared, never shrunk.
+  std::vector<Event> batch_;
+  std::vector<std::vector<const Event*>> groups_;
+  std::size_t groups_used_ = 0;
+  /// Per-node batch-grouping tag + group index, lazily reset via the stamp
+  /// (one cache line per node instead of two parallel arrays).
+  struct GroupRef {
+    std::uint64_t stamp = 0;
+    std::uint32_t slot = 0;
+  };
+  std::vector<GroupRef> group_refs_;
+  std::uint64_t batch_stamp_ = 0;
+  std::vector<core::NodeId> batch_nodes_;
 };
 
 }  // namespace rex::sim

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "net/message.hpp"
+#include "support/calendar_queue.hpp"
 #include "support/sim_clock.hpp"
 
 namespace rex::sim {
@@ -41,6 +42,11 @@ struct Event {
   std::uint64_t seq = 0;  // schedule order: the deterministic tie-break
   net::NodeId node = 0;
   EventKind kind = EventKind::kTrain;
+  /// SlotPool id of the state this event carries (kDeliver: the in-flight
+  /// envelope; kShare: the outbox batch; kTest: the pending epoch record).
+  /// Replaces the seq-keyed unordered_maps: resolving event state is an
+  /// indexed vector read instead of a hash lookup per event.
+  std::uint32_t slot = 0;
 
   /// Earliest time first; FIFO schedule order on ties.
   [[nodiscard]] bool before(const Event& other) const {
@@ -50,10 +56,20 @@ struct Event {
 };
 
 /// Comparator turning std::priority_queue (a max-heap) into a min-heap on
-/// (time, seq).
+/// (time, seq). The engine itself schedules through a CalendarQueue; this
+/// comparator remains the reference ordering the equivalence fuzz test
+/// checks the calendar queue against.
 struct EventAfter {
   [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
     return b.before(a);
+  }
+};
+
+/// CalendarQueue key extractor: the same (time, seq) order EventAfter
+/// defines.
+struct EventCalendarKey {
+  [[nodiscard]] CalendarKey operator()(const Event& event) const {
+    return CalendarKey{event.time.seconds, event.seq};
   }
 };
 

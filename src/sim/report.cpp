@@ -11,19 +11,38 @@ namespace rex::sim {
 void write_csv(const ExperimentResult& result, const std::string& path) {
   std::ofstream out(path);
   REX_REQUIRE(out.good(), "cannot open csv path: " + path);
-  out << "epoch,time_s,mean_rmse,min_rmse,max_rmse,bytes_in_out,"
-         "merge_s,train_s,share_s,test_s,memory_bytes,store_size\n";
+  out << "epoch,time_s,nodes_reporting,mean_rmse,min_rmse,max_rmse,"
+         "bytes_in_out,merge_s,train_s,share_s,test_s,memory_bytes,"
+         "store_size\n";
   for (const RoundRecord& r : result.rounds) {
     char line[512];
     std::snprintf(line, sizeof line,
-                  "%llu,%.6f,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,%.9f,%.1f,"
-                  "%.1f\n",
+                  "%llu,%.6f,%zu,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,%.9f,"
+                  "%.1f,%.1f\n",
                   static_cast<unsigned long long>(r.epoch),
-                  r.cumulative_time.seconds, r.mean_rmse, r.min_rmse,
-                  r.max_rmse, r.mean_bytes_in_out, r.mean_stages.merge.seconds,
-                  r.mean_stages.train.seconds, r.mean_stages.share.seconds,
-                  r.mean_stages.test.seconds, r.mean_memory_bytes,
-                  r.mean_store_size);
+                  r.cumulative_time.seconds, r.nodes_reporting, r.mean_rmse,
+                  r.min_rmse, r.max_rmse, r.mean_bytes_in_out,
+                  r.mean_stages.merge.seconds, r.mean_stages.train.seconds,
+                  r.mean_stages.share.seconds, r.mean_stages.test.seconds,
+                  r.mean_memory_bytes, r.mean_store_size);
+    out << line;
+  }
+}
+
+void write_node_csv(const SimEngine& engine, const std::string& path) {
+  std::ofstream out(path);
+  REX_REQUIRE(out.good(), "cannot open csv path: " + path);
+  out << "node_id,epochs_done,epochs_folded,events_processed,"
+         "deliveries_dropped,slowdown,online\n";
+  for (core::NodeId id = 0; id < engine.node_count(); ++id) {
+    const SimEngine::NodeStatus& status = engine.node_status(id);
+    char line[256];
+    std::snprintf(line, sizeof line, "%u,%llu,%llu,%llu,%llu,%.6f,%d\n", id,
+                  static_cast<unsigned long long>(status.epochs_done),
+                  static_cast<unsigned long long>(status.epochs_folded),
+                  static_cast<unsigned long long>(status.events_processed),
+                  static_cast<unsigned long long>(status.deliveries_dropped),
+                  status.slowdown, status.online ? 1 : 0);
     out << line;
   }
 }

@@ -5,14 +5,23 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 
 namespace rex::sim {
 
 /// Writes the per-epoch series as CSV (one row per epoch) to `path`.
-/// Columns: epoch,time_s,mean_rmse,min_rmse,max_rmse,bytes_in_out,
-/// merge_s,train_s,share_s,test_s,memory_bytes,store_size.
+/// Columns: epoch,time_s,nodes_reporting,mean_rmse,min_rmse,max_rmse,
+/// bytes_in_out,merge_s,train_s,share_s,test_s,memory_bytes,store_size.
+/// `nodes_reporting` makes async runs directly plottable: event-driven
+/// epochs are aggregated over whichever nodes reached that epoch index.
 void write_csv(const ExperimentResult& result, const std::string& path);
+
+/// Writes the engine's per-node counters as CSV (one row per node):
+/// node_id,epochs_done,epochs_folded,events_processed,deliveries_dropped,
+/// slowdown,online. The per-node epoch counts are the async divergence the
+/// aggregate series cannot show (fast nodes overshoot, churned nodes lag).
+void write_node_csv(const SimEngine& engine, const std::string& path);
 
 /// Prints a few sampled rows of a convergence series (every `stride`
 /// epochs) with time, RMSE and traffic columns.

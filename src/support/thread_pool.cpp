@@ -24,12 +24,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_blocks(std::size_t n, IndexFn fn, void* ctx) {
   if (n == 0) return;
   const std::size_t workers = workers_.size();
   if (workers == 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
     return;
   }
   {
@@ -41,7 +40,7 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t w = 0; w < workers; ++w) {
       const std::size_t begin = std::min(n, w * chunk);
       const std::size_t end = std::min(n, begin + chunk);
-      tasks_[w] = Task{begin, end, &fn};
+      tasks_[w] = Task{begin, end, fn, ctx};
       if (begin < end) ++pending_;
     }
     ++generation_;
@@ -54,12 +53,11 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
-void ThreadPool::parallel_shards(std::size_t n,
-                                 const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_shards(std::size_t n, IndexFn fn, void* ctx) {
   if (n == 0) return;
   const std::size_t workers = workers_.size();
   if (workers == 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
     return;
   }
   {
@@ -68,7 +66,8 @@ void ThreadPool::parallel_shards(std::size_t n,
     shard_mode_ = true;
     shard_count_ = n;
     next_shard_ = 0;
-    shard_fn_ = &fn;
+    shard_fn_ = fn;
+    shard_ctx_ = ctx;
     pending_ = n;  // one pending unit per shard, whoever executes it
     ++generation_;
   }
@@ -85,17 +84,19 @@ void ThreadPool::run_shard_batch() {
   // so a late wake-up cannot deadlock it; an idle worker simply steals the
   // next unclaimed shard.
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    IndexFn fn = nullptr;
+    void* ctx = nullptr;
     std::size_t index = 0;
     {
       std::lock_guard lock(mutex_);
       if (!shard_mode_ || next_shard_ >= shard_count_) return;
       index = next_shard_++;
       fn = shard_fn_;
+      ctx = shard_ctx_;
     }
     std::exception_ptr error;
     try {
-      (*fn)(index);
+      fn(ctx, index);
     } catch (...) {
       error = std::current_exception();
     }
@@ -144,7 +145,9 @@ void ThreadPool::worker_loop() {
       if (task.fn == nullptr) break;  // batch fully claimed
       std::exception_ptr error;
       try {
-        for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+        for (std::size_t i = task.begin; i < task.end; ++i) {
+          task.fn(task.ctx, i);
+        }
       } catch (...) {
         error = std::current_exception();
       }

@@ -15,13 +15,21 @@
 //                    idle the rest of the pool. Used by the event engine for
 //                    independent per-node event batches at the same
 //                    simulated timestamp.
+//
+// Both entry points are templates dispatching through a borrowed
+// (context, trampoline) pair instead of std::function: the event engine
+// calls parallel_shards once per same-timestamp batch — at 10k nodes that
+// is hundreds of thousands of calls, and a std::function materialized per
+// call would put a heap allocation on the scheduler's critical path. The
+// callable only needs to outlive the call, which both primitives guarantee
+// by blocking until the batch completes.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace rex {
@@ -40,23 +48,42 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n), partitioned into contiguous blocks, one per
   /// worker. Blocks until every call returned. Exceptions from `fn`
   /// propagate to the caller (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  template <class F>
+  void parallel_for(std::size_t n, F&& fn) {
+    run_blocks(n, &trampoline<F>, const_cast<void*>(
+                                      static_cast<const void*>(&fn)));
+  }
 
   /// Runs fn(i) for i in [0, n) with dynamic (work-stealing) scheduling:
   /// every worker repeatedly claims the lowest unclaimed index until all are
   /// done. Each index runs exactly once; indices must be independent (no
   /// ordering is guaranteed). Blocks until every call returned; exceptions
   /// propagate (first one wins).
-  void parallel_shards(std::size_t n,
-                       const std::function<void(std::size_t)>& fn);
+  template <class F>
+  void parallel_shards(std::size_t n, F&& fn) {
+    run_shards(n, &trampoline<F>, const_cast<void*>(
+                                      static_cast<const void*>(&fn)));
+  }
 
  private:
+  /// Borrowed callable: `call(ctx, i)` invokes the caller's functor. Valid
+  /// only while the blocking entry point is on the caller's stack.
+  using IndexFn = void (*)(void* ctx, std::size_t index);
+
+  template <class F>
+  static void trampoline(void* ctx, std::size_t index) {
+    (*static_cast<std::remove_reference_t<F>*>(ctx))(index);
+  }
+
   struct Task {
     std::size_t begin = 0;
     std::size_t end = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
+    IndexFn fn = nullptr;
+    void* ctx = nullptr;
   };
 
+  void run_blocks(std::size_t n, IndexFn fn, void* ctx);
+  void run_shards(std::size_t n, IndexFn fn, void* ctx);
   void worker_loop();
   void run_shard_batch();
 
@@ -74,7 +101,8 @@ class ThreadPool {
   bool shard_mode_ = false;        // what the current batch runs
   std::size_t shard_count_ = 0;
   std::size_t next_shard_ = 0;     // work-stealing cursor (guarded by mutex_)
-  const std::function<void(std::size_t)>* shard_fn_ = nullptr;
+  IndexFn shard_fn_ = nullptr;
+  void* shard_ctx_ = nullptr;
 };
 
 }  // namespace rex

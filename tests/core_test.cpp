@@ -489,7 +489,9 @@ TEST(RexSgx, TamperedPayloadRejected) {
   cluster.init_all();
   auto inbox = cluster.transport.drain_inbox(0);
   ASSERT_EQ(inbox.size(), 2u);
-  inbox[0].payload[inbox[0].payload.size() / 2] ^= 0x01;
+  Bytes tampered = inbox[0].payload.to_bytes();
+  tampered[tampered.size() / 2] ^= 0x01;
+  inbox[0].payload = SharedBytes::wrap(std::move(tampered));
   EXPECT_THROW(cluster.hosts[0]->on_deliver(inbox[0]), Error);
 }
 

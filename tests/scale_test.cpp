@@ -1,0 +1,84 @@
+// Scale determinism: the 10k-node profile of `bench_async_stragglers
+// --paper-scale`, run across worker-thread counts in both disciplines —
+// the calendar queue, slot pools and recycled batch containers must not
+// leak any thread-count dependence into the metrics.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace rex::sim {
+namespace {
+
+constexpr std::size_t kNodes = 10000;
+
+Scenario scale_scenario(EngineMode mode) {
+  Scenario s;
+  s.dataset.n_users = kNodes;
+  s.dataset.n_items = 60;
+  s.dataset.n_ratings = kNodes * 6;
+  s.dataset.min_ratings_per_user = 4;
+  s.dataset.seed = 21 ^ 0xDA7A;
+  s.nodes = 0;  // one node per user
+  s.topology = TopologyKind::kSmallWorld;
+  s.model = ModelKind::kMf;
+  s.mf_embedding_dim = 2;
+  s.mf_sgd_steps_per_epoch = 2;
+  s.rex.algorithm = core::Algorithm::kDpsgd;
+  s.rex.sharing = core::SharingMode::kRawData;
+  s.rex.data_points_per_epoch = 2;
+  s.epochs = 2;
+  s.seed = 21;
+  s.engine_mode = mode;
+  if (mode == EngineMode::kEventDriven) {
+    s.dynamics.speed_lognormal_sigma = 0.25;
+    s.dynamics.straggler_probability = 0.3;
+    s.dynamics.straggler_lognormal_sigma = 1.0;
+  }
+  return s;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
+                      std::size_t threads) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << threads << " threads";
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].mean_rmse, b.rounds[i].mean_rmse)
+        << threads << " threads, epoch " << i;
+    EXPECT_DOUBLE_EQ(a.rounds[i].min_rmse, b.rounds[i].min_rmse) << i;
+    EXPECT_DOUBLE_EQ(a.rounds[i].max_rmse, b.rounds[i].max_rmse) << i;
+    EXPECT_DOUBLE_EQ(a.rounds[i].cumulative_time.seconds,
+                     b.rounds[i].cumulative_time.seconds)
+        << i;
+    EXPECT_DOUBLE_EQ(a.rounds[i].mean_bytes_in_out,
+                     b.rounds[i].mean_bytes_in_out)
+        << i;
+    EXPECT_DOUBLE_EQ(a.rounds[i].mean_memory_bytes,
+                     b.rounds[i].mean_memory_bytes)
+        << i;
+    EXPECT_EQ(a.rounds[i].nodes_reporting, b.rounds[i].nodes_reporting) << i;
+  }
+}
+
+void run_discipline(EngineMode mode) {
+  Scenario serial = scale_scenario(mode);
+  serial.threads = 1;
+  const ExperimentResult reference = run_scenario(serial);
+  ASSERT_FALSE(reference.rounds.empty());
+  EXPECT_EQ(reference.rounds.front().nodes_reporting, kNodes);
+  for (const std::size_t threads : {2ul, 8ul}) {
+    Scenario parallel = scale_scenario(mode);
+    parallel.threads = threads;
+    expect_identical(reference, run_scenario(parallel), threads);
+  }
+}
+
+TEST(ScaleDeterminism, Barrier10kIdenticalAcross1_2_8Threads) {
+  run_discipline(EngineMode::kBarrier);
+}
+
+TEST(ScaleDeterminism, EventDriven10kIdenticalAcross1_2_8Threads) {
+  run_discipline(EngineMode::kEventDriven);
+}
+
+}  // namespace
+}  // namespace rex::sim
