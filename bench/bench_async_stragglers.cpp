@@ -9,6 +9,16 @@
 // node only delays itself (RMW) or its immediate neighbors' next round
 // (D-PSGD).
 //
+// --wan <profile>: the heterogeneous-link showcase. Runs the 1k-node
+// (10k with --paper-scale) event-driven learning scenario over a per-edge
+// sim::LinkModel (lan | wan | geo presets: geo regions, log-normal per-edge
+// latency/bandwidth draws, sender-queued transmission), verifies the
+// metrics are bit-identical across 1/2/8 worker threads, compares
+// completion time against the homogeneous run, and — with --csv — dumps
+// the per-edge latency/bandwidth/delivery stats next to the epoch and
+// per-node series (see docs/reporting.md). Exits non-zero if the
+// thread-count determinism check fails.
+//
 // --paper-scale: the 10k-node engine-scale profile. The sigma sweep is
 // replaced by two event-driven cells that measure the scheduler itself:
 //
@@ -204,6 +214,100 @@ int emit_scale_json(const rex::bench::Options& options,
   return scheduler.events_per_sec >= floor ? 0 : 3;
 }
 
+// ===== --wan: heterogeneous-link showcase =====
+
+/// Exact equality across thread counts: any drift means the link model or
+/// the queueing leaked scheduling order into the metrics.
+bool results_identical(const rex::sim::ExperimentResult& a,
+                       const rex::sim::ExperimentResult& b) {
+  if (a.rounds.size() != b.rounds.size()) return false;
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    const rex::sim::RoundRecord& x = a.rounds[i];
+    const rex::sim::RoundRecord& y = b.rounds[i];
+    if (x.mean_rmse != y.mean_rmse || x.min_rmse != y.min_rmse ||
+        x.max_rmse != y.max_rmse ||
+        x.cumulative_time.seconds != y.cumulative_time.seconds ||
+        x.mean_bytes_in_out != y.mean_bytes_in_out ||
+        x.nodes_reporting != y.nodes_reporting) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_wan_showcase(const rex::bench::Options& options) {
+  using namespace rex;
+  sim::Scenario scenario = engine_scale_scenario(options, false);
+  scenario.label = "wan-" + options.wan_profile;
+  scenario.costs.wan = sim::make_wan_profile(options.wan_profile);
+
+  // Homogeneous reference first: same scenario, LAN links.
+  sim::Scenario lan = scenario;
+  lan.costs.wan = sim::LinkParams{};
+  lan.label = "homogeneous";
+  sim::ScenarioInputs lan_inputs;
+  sim::Simulator lan_sim = sim::make_scenario_simulator(lan, lan_inputs);
+  lan_sim.run(lan.epochs);
+  const double lan_s = lan_sim.engine().now().seconds;
+
+  // WAN run across 1/2/8 worker threads; all metrics must agree exactly.
+  bool deterministic = true;
+  double wan_s = 0.0;
+  std::uint64_t min_epochs = ~std::uint64_t{0}, max_epochs = 0;
+  sim::ExperimentResult reference;
+  for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+    sim::Scenario run = scenario;
+    run.threads = threads;
+    sim::ScenarioInputs inputs;
+    sim::Simulator simulator = sim::make_scenario_simulator(run, inputs);
+    std::fprintf(stderr, "  running %-10s (%zu nodes, %zu threads) ...",
+                 scenario.label.c_str(), simulator.node_count(), threads);
+    std::fflush(stderr);
+    simulator.run(run.epochs);
+    std::fprintf(stderr, " done\n");
+    if (threads == 1) {
+      reference = simulator.result();
+      wan_s = simulator.engine().now().seconds;
+      for (core::NodeId id = 0; id < simulator.node_count(); ++id) {
+        const auto& status = simulator.engine().node_status(id);
+        min_epochs = std::min(min_epochs, status.epochs_done);
+        max_epochs = std::max(max_epochs, status.epochs_done);
+      }
+      const sim::LinkModel& links = simulator.link_model();
+      const sim::LinkModel::Stats lat = links.latency_stats();
+      const sim::LinkModel::Stats bw = links.bandwidth_stats();
+      std::printf("profile %-4s  %zu regions, %zu edges\n",
+                  options.wan_profile.c_str(), links.params().regions,
+                  links.edge_count());
+      std::printf("  edge latency    %8.2f / %8.2f / %8.2f ms (min/mean/max)\n",
+                  lat.min * 1e3, lat.mean * 1e3, lat.max * 1e3);
+      std::printf("  edge bandwidth  %8.2f / %8.2f / %8.2f MB/s\n",
+                  bw.min / 1e6, bw.mean / 1e6, bw.max / 1e6);
+      if (!options.csv_dir.empty()) {
+        std::filesystem::create_directories(options.csv_dir);
+        const std::string stem = options.csv_dir + "/wan_" +
+                                 options.wan_profile;
+        sim::write_csv(reference, stem + ".csv");
+        sim::write_node_csv(simulator.engine(), stem + "_nodes.csv");
+        sim::write_edge_csv(simulator.engine(), stem + "_edges.csv");
+      }
+    } else if (!results_identical(reference, simulator.result())) {
+      deterministic = false;
+      std::printf("  DETERMINISM MISMATCH at %zu threads\n", threads);
+    }
+  }
+
+  std::printf("\n  completion time: homogeneous %s, %s %s (%.2fx)\n",
+              bench::format_time(lan_s).c_str(), scenario.label.c_str(),
+              bench::format_time(wan_s).c_str(), wan_s / lan_s);
+  std::printf("  epochs min..max (wan): %llu..%llu\n",
+              static_cast<unsigned long long>(min_epochs),
+              static_cast<unsigned long long>(max_epochs));
+  std::printf("  thread determinism (1/2/8): %s\n",
+              deterministic ? "PASS" : "FAIL");
+  return deterministic ? 0 : 4;
+}
+
 struct CellResult {
   double barrier_s = 0.0;
   double event_s = 0.0;
@@ -242,7 +346,14 @@ int main(int argc, char** argv) {
   const bench::Options options = bench::parse_options(
       argc, argv, "bench_async_stragglers",
       "Barrier vs event-driven completion time under log-normal stragglers; "
-      "--paper-scale runs the 10k-node engine-scale profile");
+      "--paper-scale runs the 10k-node engine-scale profile; --wan PROFILE "
+      "runs the heterogeneous-link showcase");
+
+  if (!options.wan_profile.empty()) {
+    bench::print_header(
+        "WAN links — per-edge latency/bandwidth + sender queueing", options);
+    return run_wan_showcase(options);
+  }
 
   if (options.paper_scale) {
     bench::print_header("Engine scale — 10k-node event-driven profile",

@@ -30,6 +30,7 @@ namespace {
       "  --csv DIR       dump per-epoch series as CSV into DIR\n"
       "  --threads N     simulator worker threads (default: hardware)\n"
       "  --baseline F    compare BENCH_*.json metrics against F (CI gate)\n"
+      "  --wan PROFILE   per-edge WAN links: lan | wan | geo\n"
       "  --help          this text\n",
       bench_name.c_str(), description.c_str());
   std::exit(exit_code);
@@ -67,6 +68,8 @@ Options parse_options(int argc, char** argv, const std::string& bench_name,
           next_value(), nullptr, 10));
     } else if (arg == "--baseline") {
       options.baseline_path = next_value();
+    } else if (arg == "--wan") {
+      options.wan_profile = next_value();
     } else if (arg == "--help" || arg == "-h") {
       usage_and_exit(bench_name, description, 0);
     } else {

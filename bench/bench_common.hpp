@@ -7,6 +7,8 @@
 //   --seed S        experiment seed (default 1)
 //   --csv DIR       dump raw per-epoch series as CSV files into DIR
 //   --threads N     simulator worker threads (default: hardware)
+//   --wan PROFILE   per-edge WAN link profile (lan | wan | geo); consumed
+//                   by the benches that model networks (bench_async_stragglers)
 //
 // The default scales are chosen so the complete bench suite finishes in
 // minutes on a laptop while preserving every shape the paper reports
@@ -32,6 +34,8 @@ struct Options {
   /// Path of a committed BENCH_*.json to regress against (CI gate); empty =
   /// no comparison.
   std::string baseline_path;
+  /// Named sim::LinkModel profile (--wan); empty = homogeneous links.
+  std::string wan_profile;
 
   /// Epochs to run: the explicit override, else `fallback`.
   [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every `DESIGN.md §N` reference in src/ (optionally
+# with a quoted subsection, e.g. `DESIGN.md §4 "Determinism"`) must resolve
+# to a real header in DESIGN.md — `## §N Title` for the section, and a
+# `### Sub` header (or the §N title itself) for the quoted form. Comment
+# references may wrap across lines (`DESIGN.md §5` / `// "Seeding"`), so
+# each file is flattened — comment markers stripped, newlines joined —
+# before the patterns are extracted. Run from anywhere; CI runs it on every
+# push.
+set -u
+cd "$(dirname "$0")/.."
+
+if [ ! -f DESIGN.md ]; then
+  echo "FAIL: DESIGN.md does not exist but src/ cites it" >&2
+  exit 1
+fi
+
+# One line per source file, comment markers removed: line-spanning
+# references become single-line and the greps below see every citation.
+flattened=$(grep -rlF 'DESIGN.md' src | while IFS= read -r f; do
+  sed -E 's@^[[:space:]]*(///?|\*+|/\*+)[[:space:]]?@@' "$f" | tr '\n' ' '
+  echo
+done)
+
+status=0
+
+# Section numbers: DESIGN.md §N
+for n in $(printf '%s\n' "$flattened" |
+             grep -oE 'DESIGN\.md §[0-9]+' | grep -oE '[0-9]+' | sort -un); do
+  if ! grep -qE "^## §${n}( |$)" DESIGN.md; then
+    echo "FAIL: src/ cites DESIGN.md §${n} but DESIGN.md has no '## §${n}' header:" >&2
+    grep -rn "DESIGN\.md §${n}" src >&2
+    status=1
+  fi
+done
+
+# Quoted subsections: DESIGN.md §N "Sub"
+while IFS= read -r sub; do
+  [ -z "$sub" ] && continue
+  if ! grep -qE "^### ${sub}( |$)" DESIGN.md \
+     && ! grep -qE "^## §[0-9]+ ${sub}( |$)" DESIGN.md; then
+    echo "FAIL: src/ cites DESIGN.md subsection \"${sub}\" but DESIGN.md has no '### ${sub}' header" >&2
+    status=1
+  fi
+done < <(printf '%s\n' "$flattened" |
+           grep -oE 'DESIGN\.md §[0-9]+[[:space:]]*"[^"]+"' |
+           sed -E 's/.*"([^"]+)"/\1/' | sort -u)
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: all DESIGN.md references in src/ resolve"
+fi
+exit "$status"

@@ -31,6 +31,15 @@ struct Envelope {
   /// Transport bookkeeping (not on the wire): routing order stamp used to
   /// merge sharded inboxes back into deterministic delivery order.
   std::uint64_t arrival = 0;
+  /// Simulated delivery timestamps (not on the wire), stamped by the event
+  /// engine when the envelope is released per edge: transmission end on the
+  /// sender's uplink and arrival at the destination (the engine checks each
+  /// delivery fires exactly at deliver_at_s). Zero on the barrier path,
+  /// where delivery happens at the round barrier and only the round clock
+  /// carries time. deliver_at_s - sent_at_s is the edge's one-way latency
+  /// from the active sim::LinkModel.
+  double sent_at_s = 0.0;
+  double deliver_at_s = 0.0;
 
   /// Bytes on the wire: payload plus the fixed header.
   [[nodiscard]] std::size_t wire_size() const {

@@ -11,6 +11,7 @@
 
 #include "core/epoch_counters.hpp"
 #include "core/untrusted_host.hpp"
+#include "sim/link_model.hpp"
 #include "support/sim_clock.hpp"
 
 namespace rex::sim {
@@ -33,6 +34,11 @@ struct CostParams {
   // Network (per message / per byte; §IV experiments use a LAN).
   double link_latency_s = 100e-6;
   double bandwidth_bytes_per_s = 125e6;  // 1 Gbps
+  /// Per-edge WAN heterogeneity (DESIGN.md §5): inert unless wan.enabled,
+  /// in which case the Simulator builds a LinkModel over the topology and
+  /// the engine charges per-edge latency plus sender-queued transmission
+  /// instead of the single global latency above.
+  LinkParams wan;
 
   // SGX (applied only when the runtime is in kSgxSimulated mode).
   double transition_ns = 8000.0;    // one ecall or ocall round trip

@@ -12,12 +12,14 @@ namespace rex::sim {
 SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
                      std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
                      net::Transport& transport, const CostModel& cost_model,
-                     ThreadPool& pool, ExperimentResult& result, Config config)
+                     const LinkModel& links, ThreadPool& pool,
+                     ExperimentResult& result, Config config)
     : rex_(rex),
       topology_(topology),
       hosts_(hosts),
       transport_(transport),
       cost_model_(cost_model),
+      links_(links),
       pool_(pool),
       result_(result),
       config_(config) {
@@ -25,6 +27,9 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
   REX_REQUIRE(n >= 1, "engine needs at least one node");
   REX_REQUIRE(topology_.node_count() == n, "topology/hosts size mismatch");
   nodes_.resize(n);
+  if (links_.heterogeneous()) {
+    edge_traffic_.resize(links_.edge_count());
+  }
   group_refs_.assign(n, GroupRef{});
   jitter_rngs_.reserve(n);
   Rng master(config_.seed ^ 0x0E7E27D21FE27ULL);  // independent jitter seed
@@ -260,7 +265,9 @@ void SimEngine::collect_round_record() {
   record.mean_memory_bytes = mem_sum / dn;
   record.mean_store_size = store_sum / dn;
 
-  record.round_time = slowest + cost_model_.round_latency();
+  // Homogeneous: the historical global propagation latency, bit-identical.
+  // WAN profiles: the barrier waits for its slowest link every round.
+  record.round_time = slowest + links_.round_latency();
   clock_ += record.round_time;
   record.cumulative_time = clock_;
   result_.rounds.push_back(record);
@@ -275,6 +282,8 @@ void SimEngine::apply_event_math(const Event& event) {
     case EventKind::kDeliver: {
       const net::Envelope& env = delivery_slots_[event.slot];
       REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
+      REX_CHECK(env.deliver_at_s == event.time.seconds,
+                "envelope delivered off its stamped timestamp");
       if (!status.online && event.time >= status.offline_since) {
         ++status.deliveries_dropped;  // lost to churn
         return;
@@ -318,9 +327,33 @@ void SimEngine::serial_event_hook(const Event& event) {
       return;
     case EventKind::kShare: {
       std::vector<net::Envelope>& batch = share_slots_[event.slot];
+      NodeStatus& sender = nodes_[event.node];
       for (net::Envelope& env : batch) {
-        // Per-edge delivery: each envelope propagates independently.
-        const SimTime deliver_at = event.time + cost_model_.round_latency();
+        // Per-edge delivery: each envelope propagates independently after
+        // its edge's latency. Heterogeneous links additionally serialize
+        // the sender's uplink: transmissions start when the wire frees up
+        // (batch is in send order, so queueing is deterministic).
+        SimTime sent = event.time;
+        SimTime deliver_at;
+        if (links_.heterogeneous()) {
+          const std::size_t e = links_.edge_id(env.src, env.dst);
+          const SimTime tx{static_cast<double>(env.wire_size()) /
+                           links_.edge_bandwidth_bytes_per_s(e)};
+          // Queueing on: transmissions serialize on the sender's uplink
+          // (sum of tx times). Off: each envelope still pays its own
+          // transmission, but they overlap (max) — the ablation contrast.
+          sent = links_.sender_queueing() ? sender.tx.transmit(event.time, tx)
+                                          : event.time + tx;
+          deliver_at = sent + SimTime{links_.edge_latency_s(e)};
+          EdgeTraffic& edge = edge_traffic_[e];
+          ++edge.deliveries;
+          edge.bytes += env.wire_size();
+          edge.delay_sum_s += (deliver_at - event.time).seconds;
+        } else {
+          deliver_at = event.time + links_.latency(env.src, env.dst);
+        }
+        env.sent_at_s = sent.seconds;
+        env.deliver_at_s = deliver_at.seconds;
         const std::uint32_t slot = delivery_slots_.acquire();
         delivery_slots_[slot] = std::move(env);
         schedule(deliver_at, delivery_slots_[slot].dst, EventKind::kDeliver,

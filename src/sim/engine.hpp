@@ -18,10 +18,19 @@
 //                 fires (RMW: the period timer, §III-C1; D-PSGD: the last
 //                 neighbor delivery), shares hit the wire when the node's
 //                 share stage completes, and every envelope is delivered
-//                 per edge after the link latency. Per-node speed factors,
-//                 log-normal stragglers and churn (NodeDynamics) make
-//                 heterogeneous deployments expressible — fast nodes simply
-//                 complete more epochs.
+//                 per edge after that edge's link latency. Per-node speed
+//                 factors, log-normal stragglers and churn (NodeDynamics)
+//                 make heterogeneous deployments expressible — fast nodes
+//                 simply complete more epochs.
+//
+// Links: delivery times come from the injected sim::LinkModel. Under the
+// homogeneous default every edge shares the CostModel's global latency and
+// metrics are bit-identical to the single-latency engine; under a WAN
+// profile (CostParams::wan) each delivery pays its edge's drawn latency and
+// the sender first serializes the envelope through its per-node TxQueue —
+// a share to k neighbors occupies the uplink for the sum of the k
+// transmission times, not the max (DESIGN.md §5). Per-edge delivery
+// counters feed report.cpp's write_edge_csv.
 //
 // Determinism: all event processing at one timestamp is split into a
 // parallel math phase over per-node batches (nodes own disjoint state;
@@ -52,6 +61,7 @@
 #include "net/transport.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event.hpp"
+#include "sim/link_model.hpp"
 #include "sim/metrics.hpp"
 #include "support/calendar_queue.hpp"
 #include "support/pool.hpp"
@@ -123,6 +133,19 @@ class SimEngine {
     std::uint64_t epoch_target = 0;
     /// Cumulative traffic at the last kTest record (per-epoch deltas).
     net::TrafficStats traffic_mark;
+    /// Sender-side wire-occupancy queue (WAN profiles only): outgoing
+    /// envelopes serialize through this instead of propagating in parallel.
+    TxQueue tx;
+  };
+
+  /// Per-undirected-edge delivery counters, kept only when the LinkModel is
+  /// heterogeneous (indexed by LinkModel::edge_id; see write_edge_csv).
+  struct EdgeTraffic {
+    std::uint64_t deliveries = 0;  // envelopes released onto this edge
+    std::uint64_t bytes = 0;       // wire bytes across those deliveries
+    /// Sum over deliveries of (delivery time - share release time): queued
+    /// transmission plus propagation; mean = delay_sum_s / deliveries.
+    double delay_sum_s = 0.0;
   };
 
   /// Scheduler-overhead counters for the scale benches: how much engine
@@ -144,7 +167,8 @@ class SimEngine {
   SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
             std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
             net::Transport& transport, const CostModel& cost_model,
-            ThreadPool& pool, ExperimentResult& result, Config config);
+            const LinkModel& links, ThreadPool& pool,
+            ExperimentResult& result, Config config);
 
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
@@ -181,6 +205,13 @@ class SimEngine {
     return events_processed_;
   }
   [[nodiscard]] SchedulerStats scheduler_stats() const;
+  [[nodiscard]] const LinkModel& link_model() const { return links_; }
+  /// One entry per LinkModel edge for heterogeneous models (empty
+  /// otherwise). Only event-driven runs release envelopes per edge; barrier
+  /// rounds deliver at the batch barrier and leave these at zero.
+  [[nodiscard]] const std::vector<EdgeTraffic>& edge_traffic() const {
+    return edge_traffic_;
+  }
 
  private:
   // ===== shared =====
@@ -244,6 +275,7 @@ class SimEngine {
   std::vector<std::unique_ptr<core::UntrustedHost>>& hosts_;
   net::Transport& transport_;
   const CostModel& cost_model_;
+  const LinkModel& links_;
   ThreadPool& pool_;
   ExperimentResult& result_;
   Config config_;
@@ -257,6 +289,7 @@ class SimEngine {
   bool initialized_ = false;
 
   std::vector<NodeStatus> nodes_;
+  std::vector<EdgeTraffic> edge_traffic_;  // heterogeneous LinkModel only
   std::vector<Rng> jitter_rngs_;        // one independent stream per node
   /// Whether run_epochs() targets are in force (epoch_target fields valid).
   bool targets_active_ = false;

@@ -47,6 +47,30 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
   }
 }
 
+void write_edge_csv(const SimEngine& engine, const std::string& path) {
+  std::ofstream out(path);
+  REX_REQUIRE(out.good(), "cannot open csv path: " + path);
+  out << "src,dst,region_src,region_dst,latency_s,bandwidth_bytes_per_s,"
+         "deliveries,bytes,mean_delay_s\n";
+  const LinkModel& links = engine.link_model();
+  const auto& traffic = engine.edge_traffic();
+  for (std::size_t e = 0; e < links.edge_count(); ++e) {
+    const auto [src, dst] = links.edge(e);
+    const SimEngine::EdgeTraffic& t = traffic[e];
+    const double mean_delay =
+        t.deliveries > 0
+            ? t.delay_sum_s / static_cast<double>(t.deliveries)
+            : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof line, "%u,%u,%zu,%zu,%.9f,%.1f,%llu,%llu,%.9f\n",
+                  src, dst, links.region(src), links.region(dst),
+                  links.edge_latency_s(e), links.edge_bandwidth_bytes_per_s(e),
+                  static_cast<unsigned long long>(t.deliveries),
+                  static_cast<unsigned long long>(t.bytes), mean_delay);
+    out << line;
+  }
+}
+
 void print_series(const ExperimentResult& result, std::size_t stride) {
   std::printf("  %-34s  %10s  %8s  %14s\n", result.label.c_str(), "time",
               "RMSE", "in+out/epoch");

@@ -23,6 +23,17 @@ void write_csv(const ExperimentResult& result, const std::string& path);
 /// aggregate series cannot show (fast nodes overshoot, churned nodes lag).
 void write_node_csv(const SimEngine& engine, const std::string& path);
 
+/// Writes the link model's per-edge draws plus the engine's per-edge
+/// delivery counters as CSV (one row per undirected topology edge):
+/// src,dst,region_src,region_dst,latency_s,bandwidth_bytes_per_s,
+/// deliveries,bytes,mean_delay_s. `mean_delay_s` is the mean of (delivery
+/// time - share release time) over the edge's deliveries — queued
+/// transmission plus propagation; empty deliveries report 0. Only
+/// meaningful for heterogeneous link models (WAN profiles); the
+/// homogeneous default writes the header alone. Full schema:
+/// docs/reporting.md.
+void write_edge_csv(const SimEngine& engine, const std::string& path);
+
 /// Prints a few sampled rows of a convergence series (every `stride`
 /// epochs) with time, RMSE and traffic columns.
 void print_series(const ExperimentResult& result, std::size_t stride);

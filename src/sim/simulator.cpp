@@ -17,6 +17,11 @@ Simulator::Simulator(Setup setup)
   REX_REQUIRE(setup.platforms >= 1, "at least one platform");
 
   result_.label = setup.label;
+  // Per-edge links: drawn once here (single-threaded, keyed per edge) so
+  // every discipline and worker-thread count sees identical values.
+  link_model_ = std::make_unique<LinkModel>(
+      *topology_, cost_model_.params().wan, cost_model_.params().link_latency_s,
+      cost_model_.params().bandwidth_bytes_per_s, setup.seed);
   transport_ = std::make_unique<net::Transport>(n);
   pool_ = std::make_unique<ThreadPool>(setup.threads);
 
@@ -50,8 +55,9 @@ Simulator::Simulator(Setup setup)
   engine_config.dynamics = setup.dynamics;
   engine_config.seed = setup.seed;
   engine_ = std::make_unique<SimEngine>(rex_, *topology_, hosts_,
-                                        *transport_, cost_model_, *pool_,
-                                        result_, engine_config);
+                                        *transport_, cost_model_,
+                                        *link_model_, *pool_, result_,
+                                        engine_config);
 }
 
 void Simulator::run_attestation() { engine_->run_attestation(); }

@@ -21,6 +21,7 @@
 #include "net/transport.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/link_model.hpp"
 #include "sim/metrics.hpp"
 #include "support/thread_pool.hpp"
 
@@ -76,6 +77,8 @@ class Simulator {
   [[nodiscard]] const graph::Graph& topology() const { return *topology_; }
   [[nodiscard]] SimEngine& engine() { return *engine_; }
   [[nodiscard]] const SimEngine& engine() const { return *engine_; }
+  /// The per-edge link model (homogeneous unless Setup::costs.wan.enabled).
+  [[nodiscard]] const LinkModel& link_model() const { return *link_model_; }
 
   /// Attestation delivery steps needed (0 for native runs).
   [[nodiscard]] std::size_t attestation_rounds() const {
@@ -86,6 +89,7 @@ class Simulator {
   const graph::Graph* topology_;
   core::RexConfig rex_;
   CostModel cost_model_;
+  std::unique_ptr<LinkModel> link_model_;  // outlives the engine
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<core::UntrustedHost>> hosts_;
   std::vector<data::NodeShard> shards_;  // consumed by initialize_nodes()
