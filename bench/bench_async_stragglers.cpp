@@ -19,6 +19,13 @@
 // per-node series (see docs/reporting.md). Exits non-zero if the
 // thread-count determinism check fails.
 //
+// --churn: the churn/rejoin showcase. RMW at the engine-scale node count
+// with churn enabled, so returning nodes run the rejoin protocol
+// (re-attestation hooks + state resync, DESIGN.md §6); verifies the
+// metrics are bit-identical across 1/2/8 worker threads, prints the rejoin
+// and resync-traffic totals, and — with --csv — dumps the per-node series
+// including the rejoin columns. Exits non-zero on a determinism mismatch.
+//
 // --paper-scale: the 10k-node engine-scale profile. The sigma sweep is
 // replaced by two event-driven cells that measure the scheduler itself:
 //
@@ -308,6 +315,89 @@ int run_wan_showcase(const rex::bench::Options& options) {
   return deterministic ? 0 : 4;
 }
 
+// ===== --churn: churn/rejoin showcase =====
+
+int run_churn_showcase(const rex::bench::Options& options) {
+  using namespace rex;
+  // RMW over the engine-scale node count: self-paced timers keep the run
+  // alive through outages, so every rejoin path (re-attestation hooks,
+  // resync pulls, watchdog) is exercised at scale.
+  sim::Scenario scenario = engine_scale_scenario(options, false);
+  scenario.label = "churn";
+  scenario.rex.algorithm = core::Algorithm::kRmw;
+  scenario.dynamics.churn_probability = 0.2;
+  scenario.dynamics.churn_downtime_s = 0.002;
+
+  bool deterministic = true;
+  sim::ExperimentResult reference;
+  for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+    sim::Scenario run = scenario;
+    run.threads = threads;
+    sim::ScenarioInputs inputs;
+    sim::Simulator simulator = sim::make_scenario_simulator(run, inputs);
+    std::fprintf(stderr, "  running churn     (%zu nodes, %zu threads) ...",
+                 simulator.node_count(), threads);
+    std::fflush(stderr);
+    simulator.run(run.epochs);
+    std::fprintf(stderr, " done\n");
+    if (threads == 1) {
+      reference = simulator.result();
+      std::uint64_t rejoins = 0, completed = 0, timeouts = 0, elided = 0,
+                    deferred = 0, dropped = 0;
+      double latency_sum = 0.0;
+      for (core::NodeId id = 0; id < simulator.node_count(); ++id) {
+        const auto& status = simulator.engine().node_status(id);
+        rejoins += status.rejoins;
+        completed += status.rejoins_completed;
+        timeouts += status.rejoin_timeouts;
+        elided += status.deliveries_elided;
+        deferred += status.deliveries_deferred;
+        dropped += status.deliveries_dropped;
+        latency_sum += status.rejoin_latency_sum_s;
+      }
+      const auto& resync = simulator.engine().resync_totals();
+      std::printf("churn/rejoin (%zu nodes, p=%.2f, downtime %.1f ms)\n",
+                  simulator.node_count(),
+                  scenario.dynamics.churn_probability,
+                  scenario.dynamics.churn_downtime_s * 1e3);
+      std::printf("  rejoins %llu (%llu completed, %llu via watchdog), mean "
+                  "rejoin latency %.3f ms\n",
+                  static_cast<unsigned long long>(rejoins),
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(timeouts),
+                  completed > 0
+                      ? latency_sum / static_cast<double>(completed) * 1e3
+                      : 0.0);
+      std::printf("  deliveries: %llu dropped in flight, %llu elided, %llu "
+                  "deferred\n",
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(elided),
+                  static_cast<unsigned long long>(deferred));
+      // Wire totals of the whole resync plane (pull requests + model
+      // replies), not just model blobs.
+      std::printf("  resync traffic: %s released, %s delivered, %s lost\n",
+                  bench::format_bytes(
+                      static_cast<double>(resync.tx_bytes)).c_str(),
+                  bench::format_bytes(
+                      static_cast<double>(resync.rx_bytes)).c_str(),
+                  bench::format_bytes(
+                      static_cast<double>(resync.dropped_bytes)).c_str());
+      if (!options.csv_dir.empty()) {
+        std::filesystem::create_directories(options.csv_dir);
+        sim::write_csv(reference, options.csv_dir + "/churn.csv");
+        sim::write_node_csv(simulator.engine(),
+                            options.csv_dir + "/churn_nodes.csv");
+      }
+    } else if (!results_identical(reference, simulator.result())) {
+      deterministic = false;
+      std::printf("  DETERMINISM MISMATCH at %zu threads\n", threads);
+    }
+  }
+  std::printf("  thread determinism (1/2/8): %s\n",
+              deterministic ? "PASS" : "FAIL");
+  return deterministic ? 0 : 4;
+}
+
 struct CellResult {
   double barrier_s = 0.0;
   double event_s = 0.0;
@@ -353,6 +443,12 @@ int main(int argc, char** argv) {
     bench::print_header(
         "WAN links — per-edge latency/bandwidth + sender queueing", options);
     return run_wan_showcase(options);
+  }
+
+  if (options.churn) {
+    bench::print_header(
+        "Churn — rejoin protocol (re-attestation + state resync)", options);
+    return run_churn_showcase(options);
   }
 
   if (options.paper_scale) {

@@ -31,6 +31,7 @@ namespace {
       "  --threads N     simulator worker threads (default: hardware)\n"
       "  --baseline F    compare BENCH_*.json metrics against F (CI gate)\n"
       "  --wan PROFILE   per-edge WAN links: lan | wan | geo\n"
+      "  --churn         churn/rejoin showcase (event engine, rejoin protocol)\n"
       "  --help          this text\n",
       bench_name.c_str(), description.c_str());
   std::exit(exit_code);
@@ -70,6 +71,8 @@ Options parse_options(int argc, char** argv, const std::string& bench_name,
       options.baseline_path = next_value();
     } else if (arg == "--wan") {
       options.wan_profile = next_value();
+    } else if (arg == "--churn") {
+      options.churn = true;
     } else if (arg == "--help" || arg == "-h") {
       usage_and_exit(bench_name, description, 0);
     } else {

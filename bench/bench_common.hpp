@@ -36,6 +36,10 @@ struct Options {
   std::string baseline_path;
   /// Named sim::LinkModel profile (--wan); empty = homogeneous links.
   std::string wan_profile;
+  /// Churn/rejoin showcase (--churn): event-driven run with churn enabled,
+  /// the rejoin protocol exercised, and a 1/2/8-thread bit-identity
+  /// self-check (consumed by bench_async_stragglers).
+  bool churn = false;
 
   /// Epochs to run: the explicit override, else `fallback`.
   [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {

@@ -66,14 +66,17 @@ int main() {
   batch.sender_degree = 1;
   batch.ratings = {{0, 42, 4.5f}, {0, 7, 3.0f}, {0, 99, 5.0f}};
   const Bytes plaintext = batch.encode();
+  // Explicit-sequence framing (DESIGN.md §6): the send position travels in
+  // cleartext and both sides derive the nonce from it.
+  const std::uint64_t seq = alice.next_send_sequence();
   const Bytes sealed = crypto::aead_seal(alice.session_key(),
-                                         alice.next_send_nonce(), {},
+                                         alice.send_nonce_for(seq), {},
                                          plaintext);
   std::printf("alice seals %zu rating triplets (%zu B plaintext -> %zu B "
               "ciphertext)\n",
               batch.ratings.size(), plaintext.size(), sealed.size());
   const auto opened = crypto::aead_open(bob.session_key(),
-                                        bob.next_recv_nonce(), {}, sealed);
+                                        bob.recv_nonce_for(seq), {}, sealed);
   const core::ProtocolPayload received = core::ProtocolPayload::decode(*opened);
   std::printf("bob decrypts %zu triplets; first = (user %u, item %u, %.1f "
               "stars)\n\n",

@@ -28,6 +28,13 @@ Bytes ProtocolPayload::encode(Bytes scratch) const {
     case PayloadKind::kRawDataCompressed:
       data::encode_ratings_compressed(w, ratings);
       break;
+    case PayloadKind::kResyncRequest:
+      w.varint(resync_gen);
+      break;
+    case PayloadKind::kResyncModel:
+      w.varint(resync_gen);
+      w.bytes(model_blob);
+      break;
   }
   return w.take();
 }
@@ -42,9 +49,10 @@ void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
   serialize::BinaryReader r(bytes);
   out.ratings.clear();
   out.model_blob.clear();
+  out.resync_gen = 0;  // recycled decode targets must not leak a stale gen
   const std::uint8_t kind_byte = r.u8();
   REX_REQUIRE(
-      kind_byte <= static_cast<std::uint8_t>(PayloadKind::kRawDataCompressed),
+      kind_byte <= static_cast<std::uint8_t>(PayloadKind::kResyncModel),
       "unknown payload kind");
   out.kind = static_cast<PayloadKind>(kind_byte);
   out.epoch = r.varint();
@@ -75,6 +83,16 @@ void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
     case PayloadKind::kRawDataCompressed:
       out.ratings = data::decode_ratings_compressed(r);
       break;
+    case PayloadKind::kResyncRequest:
+      out.resync_gen = r.varint();
+      break;
+    case PayloadKind::kResyncModel: {
+      out.resync_gen = r.varint();
+      const std::uint64_t n = r.varint();
+      const BytesView raw = r.raw(n);
+      out.model_blob.assign(raw.begin(), raw.end());
+      break;
+    }
   }
   r.expect_end();
 }

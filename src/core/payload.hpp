@@ -20,12 +20,25 @@ enum class PayloadKind : std::uint8_t {
   /// batch order is sorted (user, item), which is fine because receivers
   /// treat batches as sets.
   kRawDataCompressed = 3,
+  /// Rejoin resync pull (DESIGN.md §6): a returning node asks an online
+  /// neighbor for its current model. `epoch` is the requester's last
+  /// completed epoch (diagnostic); no body beyond the header.
+  kResyncRequest = 4,
+  /// Rejoin resync reply: the neighbor's current model parameters in
+  /// `model_blob`, `epoch` = the neighbor's completed-epoch count. Travels
+  /// refcounted through the zero-copy SharedBytes path like any share.
+  kResyncModel = 5,
 };
 
 struct ProtocolPayload {
   PayloadKind kind = PayloadKind::kEmpty;
   std::uint64_t epoch = 0;
   std::uint32_t sender_degree = 0;
+  /// Rejoin correlation id (kResyncRequest/kResyncModel only): the
+  /// requester's rejoin generation, echoed back in the reply so a reply
+  /// that outlived its rejoin (watchdog fired, node churned and rejoined
+  /// again) cannot complete a newer rejoin it does not belong to.
+  std::uint64_t resync_gen = 0;
   std::vector<data::Rating> ratings;  // kRawData
   Bytes model_blob;                   // kModel
 

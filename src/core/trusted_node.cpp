@@ -57,12 +57,226 @@ void TrustedNode::on_attestation_message(NodeId src, BytesView blob) {
   runtime_.record_ecall(blob.size());
   const serialize::Json message =
       serialize::Json::parse(rex::to_string(blob));
+  // A challenge against a settled session is a rejoining peer: its enclave
+  // restarted, so the old session key must not be trusted for new traffic.
+  // Tear the session down (keeping the old key for in-flight envelopes) and
+  // run the handshake fresh (DESIGN.md §6).
+  if (message.at("type").as_string() == "att_challenge") {
+    const auto it = sessions_.find(src);
+    if (it != sessions_.end() &&
+        (it->second.attested() ||
+         it->second.state() == enclave::AttestationState::kFailed)) {
+      replace_session(src);
+    }
+  }
   const std::optional<serialize::Json> reply = session(src).handle(message);
   if (reply.has_value()) {
     Bytes out = to_bytes(reply->dump());
     runtime_.record_ocall(out.size());
     send_(src, net::MessageKind::kAttestation, std::move(out));
   }
+  // Rejoin: the moment a pair re-attests, pull the peer's current state.
+  if (rejoining_ && session(src).attested()) {
+    maybe_send_resync_request(src);
+  }
+}
+
+void TrustedNode::replace_session(NodeId peer) {
+  const auto it = sessions_.find(peer);
+  REX_REQUIRE(it != sessions_.end(), "no attestation session for this peer");
+  if (it->second.attested()) {
+    StaleKey stale;
+    stale.key = it->second.session_key();
+    stale.recv_sequence = it->second.recv_sequence();
+    stale_keys_[peer] = stale;
+  }
+  sessions_.erase(it);
+  sessions_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(peer),
+      std::forward_as_tuple(id_, peer, identity_, quoting_enclave_,
+                            verifier_, &drbg_));
+}
+
+// ===== Explicit-sequence AEAD framing (DESIGN.md §6) =====
+
+std::array<std::uint8_t, 8> TrustedNode::frame_aad(NodeId sender,
+                                                   NodeId receiver) {
+  std::array<std::uint8_t, 8> aad{};
+  store_le32(aad.data(), sender);
+  store_le32(aad.data() + 4, receiver);
+  return aad;
+}
+
+Bytes TrustedNode::seal_framed(enclave::AttestationSession& session,
+                               NodeId peer, bool resync_plane,
+                               BytesView plaintext) {
+  const std::uint64_t seq = resync_plane
+                                ? session.next_resync_send_sequence()
+                                : session.next_send_sequence();
+  const crypto::ChaChaNonce nonce = resync_plane
+                                        ? session.resync_send_nonce_for(seq)
+                                        : session.send_nonce_for(seq);
+  Bytes wire(sizeof seq);
+  store_le64(wire.data(), seq);
+  append(wire, crypto::aead_seal(session.session_key(), nonce,
+                                 frame_aad(id_, peer), plaintext));
+  return wire;
+}
+
+bool TrustedNode::split_frame(BytesView blob, std::uint64_t& seq,
+                              BytesView& ciphertext) {
+  if (blob.size() <= sizeof(std::uint64_t)) return false;
+  seq = load_le64(blob.data());
+  ciphertext = blob.subspan(sizeof(std::uint64_t));
+  return true;
+}
+
+// ===== Rejoin (DESIGN.md §6) =====
+
+void TrustedNode::begin_rejoin(const std::vector<NodeId>& online_peers) {
+  REX_REQUIRE(initialized_, "rejoin before ecall_init");
+  runtime_.record_ecall(0);
+  ever_rejoined_ = true;
+  resync_pending_.clear();
+  resync_awaited_ = 0;
+  ++rejoin_gen_;
+  rejoining_ = !online_peers.empty();
+  if (!rejoining_) return;  // full partition: nothing to resync against
+  if (runtime_.secure()) {
+    // Re-attest first; the resync pull follows per pair as it completes.
+    // The rejoiner initiates towards every online peer regardless of id
+    // order — it is the side whose enclave restarted (simultaneous rejoins
+    // still resolve deterministically inside AttestationSession).
+    resync_pending_.assign(online_peers.begin(), online_peers.end());
+    for (NodeId peer : online_peers) {
+      (void)neighbor_index(peer);  // only neighbors can be rejoin targets
+      replace_session(peer);
+      const serialize::Json challenge = session(peer).initiate();
+      Bytes blob = to_bytes(challenge.dump());
+      runtime_.record_ocall(blob.size());
+      send_(peer, net::MessageKind::kAttestation, std::move(blob));
+    }
+    return;
+  }
+  // Native runs have no sessions: pull state immediately.
+  resync_pending_.assign(online_peers.begin(), online_peers.end());
+  for (NodeId peer : online_peers) {
+    (void)neighbor_index(peer);
+    maybe_send_resync_request(peer);
+  }
+}
+
+void TrustedNode::finish_rejoin() {
+  rejoining_ = false;
+  resync_pending_.clear();
+  resync_awaited_ = 0;
+}
+
+void TrustedNode::maybe_send_resync_request(NodeId peer) {
+  const auto it =
+      std::find(resync_pending_.begin(), resync_pending_.end(), peer);
+  if (it == resync_pending_.end()) return;
+  resync_pending_.erase(it);
+  ProtocolPayload request;
+  request.kind = PayloadKind::kResyncRequest;
+  request.epoch = epoch_;
+  request.sender_degree = static_cast<std::uint32_t>(neighbors_.size());
+  request.resync_gen = rejoin_gen_;
+  send_resync(peer, request);
+  ++resync_awaited_;
+}
+
+void TrustedNode::send_resync(NodeId peer, const ProtocolPayload& payload) {
+  Bytes plaintext =
+      payload.encode(payload_pool_ ? payload_pool_->acquire() : Bytes{});
+  if (runtime_.secure()) {
+    REX_REQUIRE(attested_with(peer), "resync with unattested peer");
+    Bytes wire = seal_framed(session(peer), peer, /*resync_plane=*/true,
+                             plaintext);
+    runtime_.record_crypto(wire.size());
+    runtime_.record_ocall(wire.size());
+    send_(peer, net::MessageKind::kResync, SharedBytes::wrap(std::move(wire)));
+    if (payload_pool_ != nullptr) payload_pool_->release(std::move(plaintext));
+    return;
+  }
+  runtime_.record_ocall(plaintext.size());
+  const SharedBytes wire =
+      payload_pool_ != nullptr
+          ? SharedBytes::pooled(*payload_pool_, std::move(plaintext))
+          : SharedBytes::wrap(std::move(plaintext));
+  send_(peer, net::MessageKind::kResync, wire);
+}
+
+void TrustedNode::ecall_resync(NodeId src, BytesView blob) {
+  REX_REQUIRE(initialized_, "resync message before ecall_init");
+  runtime_.record_ecall(blob.size());
+  (void)neighbor_index(src);  // resync only flows between neighbors
+  PendingInput input = acquire_input();  // recycled decode target
+  if (runtime_.secure()) {
+    // Resync is authenticated-or-ignored: a message that does not verify
+    // under the current attested session was sealed under a session that a
+    // further churn already replaced (an expected race, not tampering —
+    // and the watchdog recovers a lost reply). Discard without consuming a
+    // stream position; never process unauthenticated bytes.
+    std::uint64_t seq = 0;
+    BytesView ciphertext;
+    if (!attested_with(src) || !split_frame(blob, seq, ciphertext)) {
+      ++resync_discarded_;
+      input_pool_.push_back(std::move(input));
+      return;
+    }
+    auto& sess = session(src);
+    runtime_.record_crypto(blob.size());
+    const std::optional<Bytes> opened =
+        crypto::aead_open(sess.session_key(), sess.resync_recv_nonce_for(seq),
+                          frame_aad(src, id_), ciphertext);
+    if (!opened.has_value() || !sess.accept_resync_recv_sequence(seq)) {
+      ++resync_discarded_;
+      input_pool_.push_back(std::move(input));
+      return;
+    }
+    ProtocolPayload::decode_into(*opened, input.payload);
+  } else {
+    ProtocolPayload::decode_into(blob, input.payload);
+  }
+
+  if (input.payload.kind == PayloadKind::kResyncRequest) {
+    // Serve the current model so the rejoiner re-enters the pipeline warm.
+    ProtocolPayload reply;
+    reply.kind = PayloadKind::kResyncModel;
+    reply.epoch = epoch_;
+    reply.sender_degree = static_cast<std::uint32_t>(neighbors_.size());
+    reply.resync_gen = input.payload.resync_gen;  // correlate to the rejoin
+    reply.model_blob = model_->serialize();
+    resync_model_bytes_sent_ += reply.model_blob.size();
+    send_resync(src, reply);
+  } else if (input.payload.kind == PayloadKind::kResyncModel) {
+    // Pairwise average, the §III-C1 merge rule: deterministic because
+    // replies arrive in the engine's deterministic delivery order. Late
+    // replies (after a watchdog force-completion) still merge — fresher
+    // state never hurts a node that was stale anyway.
+    if (!input.payload.model_blob.empty()) {
+      ml::RecModel& alien = alien_scratch(0);
+      alien.deserialize(input.payload.model_blob);
+      const ml::MergeSource source{&alien, 0.5};
+      model_->merge(std::span<const ml::MergeSource>(&source, 1), 0.5);
+      ++resync_models_merged_;
+    }
+    // Only replies to *this* rejoin's requests count towards completion; a
+    // reply that outlived a watchdog-ended rejoin still merges above (a
+    // stale node can only get fresher) but must not complete the new one.
+    if (rejoining_ && input.payload.resync_gen == rejoin_gen_ &&
+        resync_awaited_ > 0 && --resync_awaited_ == 0 &&
+        resync_pending_.empty()) {
+      rejoining_ = false;
+    }
+  } else {
+    REX_REQUIRE(false, "non-resync payload on the resync path");
+  }
+
+  input.payload.ratings.clear();
+  input.payload.model_blob.clear();
+  input_pool_.push_back(std::move(input));
 }
 
 enclave::AttestationSession& TrustedNode::session(NodeId peer) {
@@ -141,18 +355,62 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   PendingInput input = acquire_input();  // recycled decode target
   std::size_t plaintext_size = 0;
   if (runtime_.secure()) {
-    REX_REQUIRE(attested_with(src),
-                "protocol message from unattested peer");  // fail closed
     auto& sess = session(src);
     runtime_.record_crypto(blob.size());
-    const crypto::ChaChaNonce nonce = sess.next_recv_nonce();
-    std::array<std::uint8_t, 8> aad{};
-    store_le32(aad.data(), src);
-    store_le32(aad.data() + 4, id_);
-    const std::optional<Bytes> opened =
-        crypto::aead_open(sess.session_key(), nonce, aad, blob);
-    REX_REQUIRE(opened.has_value(),
-                "authenticated decryption failed: tampered payload");
+    // Explicit-sequence framing (DESIGN.md §6): derive the nonce from the
+    // cleartext position, so positions lost to an outage leave gaps
+    // instead of desynchronizing the stream.
+    std::uint64_t seq = 0;
+    BytesView ciphertext;
+    REX_REQUIRE(split_frame(blob, seq, ciphertext),
+                "truncated secure payload");
+    const std::array<std::uint8_t, 8> aad = frame_aad(src, id_);
+    // Current session first, then the stale key a re-attestation left
+    // behind — the message may have been sealed before the sender learned
+    // of the rejoin. No session and no stale key = fail closed, as before.
+    std::optional<Bytes> opened;
+    bool from_stale = false;
+    if (sess.attested()) {
+      opened = crypto::aead_open(sess.session_key(), sess.recv_nonce_for(seq),
+                                 aad, ciphertext);
+    }
+    if (!opened.has_value()) {
+      const auto stale = stale_keys_.find(src);
+      if (stale != stale_keys_.end()) {
+        const crypto::ChaChaNonce nonce = crypto::nonce_from_sequence(
+            seq, src < id_ ? 0u : 1u);  // same direction rule as the session
+        opened =
+            crypto::aead_open(stale->second.key, nonce, aad, ciphertext);
+        from_stale = opened.has_value();
+      }
+    }
+    REX_REQUIRE(sess.attested() || stale_keys_.count(src) != 0,
+                "protocol message from unattested peer");  // fail closed
+    if (!opened.has_value()) {
+      // Once this pair's keys have rotated (a rejoin replaced the session),
+      // an unopenable message is a churn race, not tampering: sealed under
+      // a key more than one rotation old, or under a half-open handshake's
+      // new key this side has not derived yet. Real rotating-key systems
+      // drop exactly these; never process unauthenticated bytes. Without
+      // any rotation the hard tamper failure stands.
+      if (stale_keys_.count(src) != 0) {
+        ++inputs_discarded_rekey_;
+        input_pool_.push_back(std::move(input));
+        return;
+      }
+      REX_REQUIRE(opened.has_value(),
+                  "authenticated decryption failed: tampered payload");
+    }
+    // Stream-level replay rejection: a position at or below the watermark
+    // was already consumed (checked only after the AEAD verified, so
+    // garbage cannot move the watermark).
+    if (from_stale) {
+      StaleKey& stale = stale_keys_.find(src)->second;
+      REX_REQUIRE(seq >= stale.recv_sequence, "replayed secure payload");
+      stale.recv_sequence = seq + 1;
+    } else {
+      REX_REQUIRE(sess.accept_recv_sequence(seq), "replayed secure payload");
+    }
     plaintext_size = opened->size();
     ProtocolPayload::decode_into(*opened, input.payload);
   } else {
@@ -184,8 +442,10 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
     // Pipelining is provably at most one round deep — a neighbor's round
     // k+2 share needs our round k+1 share, which needs us to consume its
     // round k — so a third buffered payload is a scheduling bug (and would
-    // grow enclave memory unboundedly).
-    REX_REQUIRE(pending.inputs.size() < 2,
+    // grow enclave memory unboundedly). After a rejoin the cap relaxes:
+    // shares deferred across our outage are released on top of the live
+    // pipeline (DESIGN.md §6), legitimately stacking a couple deeper.
+    REX_REQUIRE(pending.inputs.size() < (ever_rejoined_ ? 4u : 2u),
                 "D-PSGD neighbor more than one round ahead: scheduling bug");
   }
   pending.watermark = static_cast<std::int64_t>(input.payload.epoch);
@@ -195,7 +455,9 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   pending.inputs.push_back(std::move(input));
 
   // D-PSGD readiness (Algorithm 2 line 13): a message from every neighbor.
-  if (config_.algorithm == Algorithm::kDpsgd && round_ready()) {
+  // Rejoining nodes buffer without triggering — training resumes only after
+  // the resync exchange, via the engine's restarted train timer.
+  if (config_.algorithm == Algorithm::kDpsgd && !rejoining_ && round_ready()) {
     rex_protocol();
   }
 }
@@ -203,6 +465,7 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
 void TrustedNode::ecall_train_due() {
   REX_REQUIRE(initialized_, "train event before ecall_init");
   runtime_.record_ecall(0);
+  if (rejoining_) return;  // training suppressed until the rejoin completes
   if (config_.algorithm == Algorithm::kRmw) {
     // RMW trains on its period with whatever arrived (§III-C1).
     rex_protocol();
@@ -409,15 +672,19 @@ void TrustedNode::share_with(std::span<const NodeId> dsts, Bytes plaintext) {
     // Per-destination ciphertexts: each attested session has its own key
     // and nonce stream, so zero-copy fan-out stops at the sealing boundary.
     for (NodeId dst : dsts) {
+      if (!attested_with(dst)) {
+        // Mid-re-attestation (the peer is rejoining, DESIGN.md §6): no key
+        // to seal under yet, so this epoch's share to it is skipped — the
+        // rejoiner's resync pull covers the gap.
+        ++shares_skipped_unattested_;
+        continue;
+      }
       counters_.bytes_serialized += plaintext.size();
-      REX_REQUIRE(attested_with(dst), "sharing with unattested peer");
-      auto& sess = session(dst);
-      const crypto::ChaChaNonce nonce = sess.next_send_nonce();
-      std::array<std::uint8_t, 8> aad{};
-      store_le32(aad.data(), id_);
-      store_le32(aad.data() + 4, dst);
-      Bytes wire =
-          crypto::aead_seal(sess.session_key(), nonce, aad, plaintext);
+      // Explicit-sequence framing (DESIGN.md §6): the position travels in
+      // cleartext so a receiver that lost messages to an outage still
+      // derives the right nonce.
+      Bytes wire = seal_framed(session(dst), dst, /*resync_plane=*/false,
+                               plaintext);
       runtime_.record_crypto(wire.size());
       runtime_.record_ocall(wire.size());
       ++counters_.messages_sent;

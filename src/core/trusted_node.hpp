@@ -61,11 +61,61 @@ class TrustedNode {
   /// towards higher-id neighbors (each pair handshakes once).
   void start_attestation(const std::vector<NodeId>& neighbors);
 
-  /// Handles one attestation message (cleartext JSON).
+  /// Handles one attestation message (cleartext JSON). An `att_challenge`
+  /// hitting an attested (or failed) session is a peer's rejoin: the old
+  /// session is torn down — its key retained for in-flight traffic — and a
+  /// fresh handshake runs (DESIGN.md §6).
   void on_attestation_message(NodeId src, BytesView blob);
 
   [[nodiscard]] bool attested_with(NodeId peer) const;
   [[nodiscard]] bool fully_attested() const;
+
+  // ===== Rejoin (DESIGN.md §6) =====
+
+  /// Starts the rejoin protocol after an outage. Secure runs tear down and
+  /// re-initiate the attestation session with every peer in `online_peers`
+  /// (this node initiates regardless of id order — it is the one returning)
+  /// and pull each peer's current model once that pair re-attests; native
+  /// runs skip straight to the resync pulls. Training stays suppressed —
+  /// ecall_train_due is a no-op and buffered rounds do not trigger — until
+  /// rejoining() clears (the sim engine restarts the train timer then).
+  void begin_rejoin(const std::vector<NodeId>& online_peers);
+
+  /// True while a rejoin is awaiting re-attestations or resync replies.
+  [[nodiscard]] bool rejoining() const { return rejoining_; }
+
+  /// Force-completes a rejoin (the engine's watchdog: a contacted peer
+  /// churned away mid-exchange). Late resync replies are still merged.
+  void finish_rejoin();
+
+  /// ecall for a kResync envelope: a kResyncRequest is answered with the
+  /// current model; a kResyncModel reply is averaged into our model
+  /// (pairwise, the §III-C1 merge rule) so the node re-enters the pipeline
+  /// warm instead of stale.
+  void ecall_resync(NodeId src, BytesView blob);
+
+  /// Model-blob bytes this node served in resync replies (conservation
+  /// tests: every resync byte merged somewhere was served by someone).
+  [[nodiscard]] std::uint64_t resync_model_bytes_sent() const {
+    return resync_model_bytes_sent_;
+  }
+  /// Resync replies merged into this node's model.
+  [[nodiscard]] std::uint64_t resync_models_merged() const {
+    return resync_models_merged_;
+  }
+  /// Shares skipped because the destination's session was mid-re-handshake
+  /// (secure runs only; the rejoiner's resync pull covers the gap).
+  [[nodiscard]] std::uint64_t shares_skipped_unattested() const {
+    return shares_skipped_unattested_;
+  }
+  /// Resync messages discarded as unverifiable under the current session.
+  [[nodiscard]] std::uint64_t resync_discarded() const {
+    return resync_discarded_;
+  }
+  /// Protocol deliveries discarded as unopenable after a key rotation.
+  [[nodiscard]] std::uint64_t inputs_discarded_rekey() const {
+    return inputs_discarded_rekey_;
+  }
 
   // ===== Protocol phase (Algorithm 2) =====
 
@@ -122,6 +172,32 @@ class TrustedNode {
   [[nodiscard]] enclave::AttestationSession& session(NodeId peer);
   void update_memory_accounting();
 
+  /// Tears down the session with `peer` and opens a fresh one, retaining an
+  /// attested session's key (+ receive position) as the stale-key fallback
+  /// for traffic that was in flight across the re-attestation.
+  void replace_session(NodeId peer);
+  /// Sends the resync pull to `peer` if it is still owed one (rejoin).
+  void maybe_send_resync_request(NodeId peer);
+  /// Encrypts (secure mode) and sends one resync payload to `peer`.
+  void send_resync(NodeId peer, const ProtocolPayload& payload);
+
+  // ===== Explicit-sequence AEAD framing (DESIGN.md §6) =====
+  // One wire format for every secure payload: [send seq le64 || AEAD
+  // ciphertext], AAD = (sender id, receiver id). Shared by the protocol
+  // and resync planes so the framing cannot drift between them; only the
+  // failure policy differs at the call sites.
+  /// AAD binding a directed (sender, receiver) pair.
+  [[nodiscard]] static std::array<std::uint8_t, 8> frame_aad(NodeId sender,
+                                                             NodeId receiver);
+  /// Seals `plaintext` for `peer`, allocating the next position on the
+  /// session's protocol or resync send stream.
+  [[nodiscard]] Bytes seal_framed(enclave::AttestationSession& session,
+                                  NodeId peer, bool resync_plane,
+                                  BytesView plaintext);
+  /// Splits a framed blob into (seq, ciphertext); false = truncated.
+  [[nodiscard]] static bool split_frame(BytesView blob, std::uint64_t& seq,
+                                        BytesView& ciphertext);
+
   RexConfig config_;
   NodeId id_;
   enclave::Runtime& runtime_;
@@ -137,6 +213,41 @@ class TrustedNode {
 
   std::vector<NodeId> neighbors_;
   std::map<NodeId, enclave::AttestationSession> sessions_;
+
+  // ===== Rejoin state (DESIGN.md §6) =====
+  /// A previous session's receive key, kept when re-attestation replaces
+  /// the session: envelopes sealed under the old key can still be in flight
+  /// (sent before the peer learned of the rejoin), and rejecting them would
+  /// be indistinguishable from tampering. One stale key per peer (the
+  /// latest); its receive counter continues where the old session stopped.
+  struct StaleKey {
+    crypto::ChaChaKey key{};
+    std::uint64_t recv_sequence = 0;
+  };
+  std::map<NodeId, StaleKey> stale_keys_;
+  bool rejoining_ = false;
+  /// Peers owed a resync pull once their session re-attests (secure mode).
+  std::vector<NodeId> resync_pending_;
+  /// Resync replies outstanding; rejoining_ clears when this hits zero.
+  std::size_t resync_awaited_ = 0;
+  /// Rejoin generation: stamped into resync requests and echoed by the
+  /// reply, so a reply that outlived its rejoin (watchdog fired, another
+  /// outage and rejoin happened) cannot complete the newer rejoin.
+  std::uint64_t rejoin_gen_ = 0;
+  /// Once a node has ever rejoined, the D-PSGD per-neighbor buffer cap is
+  /// relaxed from 2 to 4: deferred shares released at the rejoin can stack
+  /// on top of the live pipeline.
+  bool ever_rejoined_ = false;
+  std::uint64_t resync_model_bytes_sent_ = 0;
+  std::uint64_t resync_models_merged_ = 0;
+  std::uint64_t shares_skipped_unattested_ = 0;
+  /// Resync messages discarded: sealed under a session a further churn
+  /// already replaced (authenticated-or-ignored; see ecall_resync).
+  std::uint64_t resync_discarded_ = 0;
+  /// Protocol deliveries discarded as unopenable after this pair's keys
+  /// rotated: sealed under a key more than one rotation old, or under a
+  /// half-open handshake's key this side has not derived yet.
+  std::uint64_t inputs_discarded_rekey_ = 0;
 
   std::unique_ptr<ml::RecModel> model_;
   std::vector<std::unique_ptr<ml::RecModel>> alien_pool_;  // merge scratch

@@ -36,6 +36,10 @@ void UntrustedHost::start_attestation(const std::vector<NodeId>& neighbors) {
   trusted_->start_attestation(neighbors);
 }
 
+void UntrustedHost::begin_rejoin(const std::vector<NodeId>& online_neighbors) {
+  trusted_->begin_rejoin(online_neighbors);
+}
+
 void UntrustedHost::on_deliver(const net::Envelope& envelope) {
   REX_REQUIRE(envelope.dst == id_, "envelope delivered to the wrong host");
   switch (envelope.kind) {
@@ -44,6 +48,9 @@ void UntrustedHost::on_deliver(const net::Envelope& envelope) {
       break;
     case net::MessageKind::kProtocol:
       trusted_->ecall_input(envelope.src, envelope.payload);
+      break;
+    case net::MessageKind::kResync:
+      trusted_->ecall_resync(envelope.src, envelope.payload);
       break;
   }
 }

@@ -33,6 +33,11 @@ class UntrustedHost {
   /// Opens attestation sessions towards `neighbors` (pre-protocol phase).
   void start_attestation(const std::vector<NodeId>& neighbors);
 
+  /// Churn-up event: starts the rejoin protocol (re-attestation + state
+  /// resync with the online neighbors, DESIGN.md §6). The engine restarts
+  /// the train timer once trusted().rejoining() clears.
+  void begin_rejoin(const std::vector<NodeId>& online_neighbors);
+
   /// Deliver event: relays a network blob into the enclave (Algorithm 1's
   /// receive loop). For D-PSGD the enclave runs the epoch on last arrival.
   void on_deliver(const net::Envelope& envelope);

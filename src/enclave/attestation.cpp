@@ -11,6 +11,10 @@ namespace {
 
 constexpr std::uint32_t kDirectionLowerToHigher = 0;
 constexpr std::uint32_t kDirectionHigherToLower = 1;
+// Resync streams (DESIGN.md §6) live in their own direction plane so their
+// counters never collide with the protocol streams above.
+constexpr std::uint32_t kDirectionResyncLowerToHigher = 2;
+constexpr std::uint32_t kDirectionResyncHigherToLower = 3;
 
 std::string hex_of(BytesView b) { return hex_encode(b); }
 
@@ -195,16 +199,34 @@ const crypto::ChaChaKey& AttestationSession::session_key() const {
   return session_key_;
 }
 
-crypto::ChaChaNonce AttestationSession::next_send_nonce() {
+crypto::ChaChaNonce AttestationSession::send_nonce_for(
+    std::uint64_t seq) const {
   const std::uint32_t direction =
       self_ < peer_ ? kDirectionLowerToHigher : kDirectionHigherToLower;
-  return crypto::nonce_from_sequence(send_sequence_++, direction);
+  return crypto::nonce_from_sequence(seq, direction);
 }
 
-crypto::ChaChaNonce AttestationSession::next_recv_nonce() {
+crypto::ChaChaNonce AttestationSession::recv_nonce_for(
+    std::uint64_t seq) const {
   const std::uint32_t direction =
       peer_ < self_ ? kDirectionLowerToHigher : kDirectionHigherToLower;
-  return crypto::nonce_from_sequence(recv_sequence_++, direction);
+  return crypto::nonce_from_sequence(seq, direction);
+}
+
+crypto::ChaChaNonce AttestationSession::resync_send_nonce_for(
+    std::uint64_t seq) const {
+  const std::uint32_t direction = self_ < peer_
+                                      ? kDirectionResyncLowerToHigher
+                                      : kDirectionResyncHigherToLower;
+  return crypto::nonce_from_sequence(seq, direction);
+}
+
+crypto::ChaChaNonce AttestationSession::resync_recv_nonce_for(
+    std::uint64_t seq) const {
+  const std::uint32_t direction = peer_ < self_
+                                      ? kDirectionResyncLowerToHigher
+                                      : kDirectionResyncHigherToLower;
+  return crypto::nonce_from_sequence(seq, direction);
 }
 
 }  // namespace rex::enclave

@@ -66,10 +66,45 @@ class AttestationSession {
   /// Session key; valid only when attested().
   [[nodiscard]] const crypto::ChaChaKey& session_key() const;
 
-  /// AEAD nonces: each direction counts its own messages. The "direction"
-  /// component disambiguates lower->higher (0) from higher->lower (1).
-  [[nodiscard]] crypto::ChaChaNonce next_send_nonce();
-  [[nodiscard]] crypto::ChaChaNonce next_recv_nonce();
+  // ===== Explicit-sequence AEAD (churn-tolerant framing, DESIGN.md §6) ===
+  //
+  // Implicit counters desynchronize the moment a delivery is lost to an
+  // outage: the sender's position advances, the receiver's does not, and
+  // every later message fails authentication. Secure REX payloads therefore
+  // carry their send sequence in cleartext (the DTLS approach); the
+  // receiver derives the nonce from the explicit sequence and enforces
+  // strictly-forward progress, so losses leave gaps instead of corruption
+  // and replays of consumed positions are rejected. Resync messages use
+  // their own sequence plane (nonce directions 2/3): they travel on the
+  // control path and are not FIFO with the protocol stream.
+
+  /// Allocates the next protocol / resync send position.
+  [[nodiscard]] std::uint64_t next_send_sequence() { return send_sequence_++; }
+  [[nodiscard]] std::uint64_t next_resync_send_sequence() {
+    return resync_send_sequence_++;
+  }
+  /// Nonce either side uses for the given position of each stream.
+  [[nodiscard]] crypto::ChaChaNonce send_nonce_for(std::uint64_t seq) const;
+  [[nodiscard]] crypto::ChaChaNonce recv_nonce_for(std::uint64_t seq) const;
+  [[nodiscard]] crypto::ChaChaNonce resync_send_nonce_for(
+      std::uint64_t seq) const;
+  [[nodiscard]] crypto::ChaChaNonce resync_recv_nonce_for(
+      std::uint64_t seq) const;
+  /// Accepts a successfully-opened message's position: false = replay of a
+  /// consumed position (call only after the AEAD verified).
+  [[nodiscard]] bool accept_recv_sequence(std::uint64_t seq) {
+    if (seq < recv_sequence_) return false;
+    recv_sequence_ = seq + 1;
+    return true;
+  }
+  [[nodiscard]] bool accept_resync_recv_sequence(std::uint64_t seq) {
+    if (seq < resync_recv_sequence_) return false;
+    resync_recv_sequence_ = seq + 1;
+    return true;
+  }
+  /// Highest accepted protocol position + 1 (stale-key handover: the old
+  /// session's receive watermark continues in TrustedNode::StaleKey).
+  [[nodiscard]] std::uint64_t recv_sequence() const { return recv_sequence_; }
 
   /// Bytes of attestation traffic this session has produced (network
   /// accounting; attestation is cheap but not free).
@@ -98,6 +133,8 @@ class AttestationSession {
   crypto::ChaChaKey session_key_{};
   std::uint64_t send_sequence_ = 0;
   std::uint64_t recv_sequence_ = 0;
+  std::uint64_t resync_send_sequence_ = 0;
+  std::uint64_t resync_recv_sequence_ = 0;
   std::size_t bytes_sent_ = 0;
 };
 

@@ -21,6 +21,12 @@ using NodeId = std::uint32_t;
 enum class MessageKind : std::uint8_t {
   kAttestation = 0,  // JSON handshake messages (cleartext by design)
   kProtocol = 1,     // REX payloads: raw-data batches or model blobs
+  /// Rejoin state-resync exchange (DESIGN.md §6): a returning node's model
+  /// pull request and the neighbor's model reply. A distinct header kind —
+  /// not a payload kind — so the event engine can route resync traffic on
+  /// the control path (released immediately, never deferred to an offline
+  /// peer) without decrypting anything.
+  kResync = 2,
 };
 
 struct Envelope {

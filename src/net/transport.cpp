@@ -95,10 +95,14 @@ void Transport::take_outbox(NodeId src, std::vector<Envelope>& out) {
   std::deque<Envelope>& outbox = outboxes_[src];
   out.reserve(out.size() + outbox.size());
   while (!outbox.empty()) {
-    record_send(outbox.front());
     out.push_back(std::move(outbox.front()));
     outbox.pop_front();
   }
+}
+
+std::size_t Transport::outbox_size(NodeId src) const {
+  check_node(src);
+  return outboxes_[src].size();
 }
 
 const TrafficStats& Transport::stats(NodeId node) const {

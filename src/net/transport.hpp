@@ -76,13 +76,26 @@ class Transport {
 
   // ===== Event path =====
 
-  /// Moves out everything `src` queued since the last take, in send order,
-  /// accounting the send side of the traffic. The caller owns delivery.
+  /// Moves out everything `src` queued since the last take, in send order.
+  /// The caller owns delivery — and accounting: record_send() must be
+  /// called per envelope when (if) it actually hits the wire. The engine
+  /// may elide an envelope whose destination is known to be offline
+  /// (DESIGN.md §6), and an elided envelope never consumed uplink.
   [[nodiscard]] std::vector<Envelope> take_outbox(NodeId src);
 
   /// Allocation-free variant: appends to `out` (typically a recycled
   /// SlotPool vector) instead of returning a fresh vector.
   void take_outbox(NodeId src, std::vector<Envelope>& out);
+
+  /// Envelopes currently queued in `src`'s outbox (cheap emptiness probe
+  /// for the engine's control-plane flush).
+  [[nodiscard]] std::size_t outbox_size(NodeId src) const;
+
+  /// Accounts the send side for one envelope the engine is releasing onto
+  /// the wire (the event-path counterpart of flush_round's accounting).
+  /// Touches only env.src's counters, so calls for distinct senders are
+  /// safe to run concurrently.
+  void record_send(const Envelope& env);
 
   /// Shared recycling pool for payload buffers: senders acquire encode
   /// scratch here and wrap it into SharedBytes::pooled, so payload storage
@@ -109,7 +122,6 @@ class Transport {
 
  private:
   void check_node(NodeId node) const;
-  void record_send(const Envelope& env);
 
   using InboxShards = std::array<std::deque<Envelope>, kInboxShards>;
 

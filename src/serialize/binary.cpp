@@ -30,6 +30,7 @@ void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 void BinaryWriter::f32_array(std::span<const float> values) {
   static_assert(std::endian::native == std::endian::little,
                 "big-endian targets need a byte-swapping f32_array");
+  if (values.empty()) return;  // empty span's data() may be null: UB in memcpy
   const std::size_t n = out_.size();
   out_.resize(n + values.size() * sizeof(float));
   std::memcpy(out_.data() + n, values.data(), values.size() * sizeof(float));
@@ -90,6 +91,7 @@ double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
 void BinaryReader::f32_array(std::span<float> out) {
   static_assert(std::endian::native == std::endian::little,
                 "big-endian targets need a byte-swapping f32_array");
+  if (out.empty()) return;  // empty span's data() may be null: UB in memcpy
   need(out.size() * sizeof(float));
   std::memcpy(out.data(), data_.data() + pos_, out.size() * sizeof(float));
   pos_ += out.size() * sizeof(float);

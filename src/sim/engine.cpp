@@ -9,6 +9,16 @@
 
 namespace rex::sim {
 
+namespace {
+/// Event-path reuse of Envelope::arrival (unused off the barrier path): the
+/// math phase records whether a delivery was dropped to churn so the serial
+/// phase's resync accounting sees the same decision — recomputing it there
+/// could disagree when a kChurnUp hook in the same batch already flipped
+/// the node's online flag.
+constexpr std::uint64_t kArrivalDelivered = 0;
+constexpr std::uint64_t kArrivalDropped = 1;
+}  // namespace
+
 SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
                      std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
                      net::Transport& transport, const CostModel& cost_model,
@@ -27,8 +37,10 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
   REX_REQUIRE(n >= 1, "engine needs at least one node");
   REX_REQUIRE(topology_.node_count() == n, "topology/hosts size mismatch");
   nodes_.resize(n);
+  online_count_ = n;
   if (links_.heterogeneous()) {
     edge_traffic_.resize(links_.edge_count());
+    pair_deliver_horizon_.resize(2 * links_.edge_count());
   }
   group_refs_.assign(n, GroupRef{});
   jitter_rngs_.reserve(n);
@@ -280,14 +292,16 @@ void SimEngine::apply_event_math(const Event& event) {
   ++status.events_processed;
   switch (event.kind) {
     case EventKind::kDeliver: {
-      const net::Envelope& env = delivery_slots_[event.slot];
+      net::Envelope& env = delivery_slots_[event.slot];
       REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
       REX_CHECK(env.deliver_at_s == event.time.seconds,
                 "envelope delivered off its stamped timestamp");
       if (!status.online && event.time >= status.offline_since) {
         ++status.deliveries_dropped;  // lost to churn
+        env.arrival = kArrivalDropped;
         return;
       }
+      env.arrival = kArrivalDelivered;
       transport_.record_delivery(env);
       hosts_[event.node]->on_deliver(env);
       return;
@@ -312,6 +326,7 @@ void SimEngine::apply_event_math(const Event& event) {
     case EventKind::kShare:
     case EventKind::kTest:
     case EventKind::kChurnUp:
+    case EventKind::kRejoinDeadline:
     case EventKind::kAttestStep:
       return;
   }
@@ -319,45 +334,30 @@ void SimEngine::apply_event_math(const Event& event) {
 
 void SimEngine::serial_event_hook(const Event& event) {
   switch (event.kind) {
-    case EventKind::kDeliver:
+    case EventKind::kDeliver: {
+      net::Envelope& env = delivery_slots_[event.slot];
+      if (env.kind == net::MessageKind::kResync) {
+        // Resync conservation (DESIGN.md §6): every released byte lands
+        // here — delivered or dropped to the receiver churning again.
+        const std::uint64_t wire = env.wire_size();
+        resync_totals_.in_flight_bytes -= wire;
+        if (env.arrival == kArrivalDropped) {
+          resync_totals_.dropped_bytes += wire;
+        } else {
+          resync_totals_.rx_bytes += wire;
+          nodes_[event.node].resync_bytes += wire;
+        }
+      }
       // Drop the payload reference now (returning pooled storage to the
       // sender side) rather than when the slot is next overwritten.
-      delivery_slots_[event.slot] = net::Envelope{};
+      env = net::Envelope{};
       delivery_slots_.release(event.slot);
       return;
+    }
     case EventKind::kShare: {
       std::vector<net::Envelope>& batch = share_slots_[event.slot];
-      NodeStatus& sender = nodes_[event.node];
       for (net::Envelope& env : batch) {
-        // Per-edge delivery: each envelope propagates independently after
-        // its edge's latency. Heterogeneous links additionally serialize
-        // the sender's uplink: transmissions start when the wire frees up
-        // (batch is in send order, so queueing is deterministic).
-        SimTime sent = event.time;
-        SimTime deliver_at;
-        if (links_.heterogeneous()) {
-          const std::size_t e = links_.edge_id(env.src, env.dst);
-          const SimTime tx{static_cast<double>(env.wire_size()) /
-                           links_.edge_bandwidth_bytes_per_s(e)};
-          // Queueing on: transmissions serialize on the sender's uplink
-          // (sum of tx times). Off: each envelope still pays its own
-          // transmission, but they overlap (max) — the ablation contrast.
-          sent = links_.sender_queueing() ? sender.tx.transmit(event.time, tx)
-                                          : event.time + tx;
-          deliver_at = sent + SimTime{links_.edge_latency_s(e)};
-          EdgeTraffic& edge = edge_traffic_[e];
-          ++edge.deliveries;
-          edge.bytes += env.wire_size();
-          edge.delay_sum_s += (deliver_at - event.time).seconds;
-        } else {
-          deliver_at = event.time + links_.latency(env.src, env.dst);
-        }
-        env.sent_at_s = sent.seconds;
-        env.deliver_at_s = deliver_at.seconds;
-        const std::uint32_t slot = delivery_slots_.acquire();
-        delivery_slots_[slot] = std::move(env);
-        schedule(deliver_at, delivery_slots_[slot].dst, EventKind::kDeliver,
-                 slot);
+        release_envelope(std::move(env), event.time);
       }
       batch.clear();
       share_slots_.release(event.slot);
@@ -372,6 +372,10 @@ void SimEngine::serial_event_hook(const Event& event) {
       EpochBucket& bucket = buckets_[epoch];
       const bool first = bucket.contributors == 0;
       ++bucket.contributors;
+      // Partition-aware sample: the fraction of the network online while
+      // this record was collected (churn-free runs stay at exactly 1.0).
+      bucket.reachable_sum += static_cast<double>(online_count_) /
+                              static_cast<double>(nodes_.size());
       bucket.rmse_sum += pe.counters.rmse;
       bucket.rmse_min =
           first ? pe.counters.rmse : std::min(bucket.rmse_min, pe.counters.rmse);
@@ -405,19 +409,142 @@ void SimEngine::serial_event_hook(const Event& event) {
     case EventKind::kChurnUp: {
       NodeStatus& status = nodes_[event.node];
       status.online = true;
-      // Restart the node's training only if no timer survived the outage —
-      // a still-queued one keeps its chain, and doubling it would break the
-      // period semantics.
-      if (status.trains_pending == 0 &&
-          (rex_.algorithm == core::Algorithm::kRmw ||
-           hosts_[event.node]->trusted().round_ready())) {
-        schedule_train(event.time, event.node);
+      ++online_count_;
+      ++status.rejoins;
+      // Rejoin protocol (DESIGN.md §6): re-attest with the online
+      // neighbors and pull their current model state before training
+      // resumes. The train timer restarts in complete_rejoin — either when
+      // the exchange finishes or when the watchdog fires.
+      status.rejoining = true;
+      ++status.rejoin_gen;
+      status.rejoin_started = event.time;
+      online_peers_scratch_.clear();
+      for (const core::NodeId peer : topology_.neighbors(event.node)) {
+        if (nodes_[peer].online) online_peers_scratch_.push_back(peer);
       }
+      hosts_[event.node]->begin_rejoin(online_peers_scratch_);
+      if (hosts_[event.node]->trusted().rejoining()) {
+        schedule(event.time + SimTime{config_.dynamics.rejoin_timeout_s},
+                 event.node, EventKind::kRejoinDeadline, status.rejoin_gen);
+      }
+      // Challenges / resync requests leave, and an immediate completion
+      // (full partition) restarts the timer, in this batch's node sweep.
+      return;
+    }
+    case EventKind::kRejoinDeadline: {
+      NodeStatus& status = nodes_[event.node];
+      if (!status.rejoining || status.rejoin_gen != event.slot) {
+        return;  // completed in time, or a previous outage's watchdog
+      }
+      ++status.rejoin_timeouts;
+      hosts_[event.node]->trusted().finish_rejoin();
+      complete_rejoin(event.node, event.time);
       return;
     }
     case EventKind::kTrain:
     case EventKind::kAttestStep:
       return;  // math-phase / pre-protocol events: nothing to do here
+  }
+}
+
+void SimEngine::release_envelope(net::Envelope env, SimTime release) {
+  NodeStatus& dst = nodes_[env.dst];
+  const bool control = env.kind != net::MessageKind::kProtocol;
+  SimTime wire_release = release;
+  bool deferred = false;
+  if (!dst.online && release >= dst.offline_since) {
+    // The sender knows the peer is down (its outage has begun). Control
+    // traffic to it is pointless — the peer re-initiates when it returns.
+    if (control || config_.dynamics.offline_shares == OfflinePolicy::kDrop) {
+      ++dst.deliveries_elided;  // never transmitted: no uplink accounting
+      return;                   // payload reference drops with env
+    }
+    // Defer: hold at the sender, transmit when the peer's outage ends (in
+    // a real deployment the rejoin challenge triggers this release).
+    deferred = true;
+    ++dst.deliveries_deferred;
+    wire_release = std::max(wire_release, dst.back_online_at);
+  }
+  transport_.record_send(env);  // the envelope actually hits the wire
+  NodeStatus& sender = nodes_[env.src];
+  SimTime sent = wire_release;
+  SimTime deliver_at;
+  if (links_.heterogeneous()) {
+    const std::size_t e = links_.edge_id(env.src, env.dst);
+    const SimTime tx{static_cast<double>(env.wire_size()) /
+                     links_.edge_bandwidth_bytes_per_s(e)};
+    // Queueing on: transmissions serialize on the sender's uplink (sum of
+    // tx times). Off: each envelope still pays its own transmission, but
+    // they overlap (max) — the ablation contrast. Control traffic always
+    // queues (it shares the wire with the data plane). Deferred envelopes
+    // use the destination's ingress queue instead: their transmission
+    // happens after the outage (charging the live uplink horizon would
+    // distort later releases), and serializing them preserves the
+    // per-pair FIFO the receive watermark requires.
+    if (deferred) {
+      sent = dst.deferred_rx.transmit(wire_release, tx);
+    } else {
+      const bool queue = links_.sender_queueing() || control;
+      sent = queue ? sender.tx.transmit(wire_release, tx) : wire_release + tx;
+    }
+    deliver_at = sent + SimTime{links_.edge_latency_s(e)};
+    // FIFO channel per directed pair: a later release never arrives before
+    // an earlier one (size-dependent tx times and deferred releases could
+    // otherwise reorder a pair's epochs into the receiver's watermark).
+    // Ties are fine — the later release schedules with a higher seq.
+    SimTime& horizon =
+        pair_deliver_horizon_[2 * e + (env.src < env.dst ? 0 : 1)];
+    deliver_at = std::max(deliver_at, horizon);
+    horizon = deliver_at;
+    EdgeTraffic& edge = edge_traffic_[e];
+    ++edge.deliveries;
+    edge.bytes += env.wire_size();
+    edge.delay_sum_s += (deliver_at - release).seconds;
+  } else {
+    deliver_at = wire_release + links_.latency(env.src, env.dst);
+  }
+  if (env.kind == net::MessageKind::kResync) {
+    resync_totals_.tx_bytes += env.wire_size();
+    resync_totals_.in_flight_bytes += env.wire_size();
+  }
+  env.sent_at_s = sent.seconds;
+  env.deliver_at_s = deliver_at.seconds;
+  const std::uint32_t slot = delivery_slots_.acquire();
+  delivery_slots_[slot] = std::move(env);
+  schedule(deliver_at, delivery_slots_[slot].dst, EventKind::kDeliver, slot);
+}
+
+void SimEngine::flush_control(core::NodeId id, SimTime now) {
+  if (transport_.outbox_size(id) == 0) return;
+  control_scratch_.clear();
+  transport_.take_outbox(id, control_scratch_);
+  for (net::Envelope& env : control_scratch_) {
+    REX_CHECK(env.kind != net::MessageKind::kProtocol,
+              "protocol share queued outside an epoch");
+    release_envelope(std::move(env), now);
+  }
+  control_scratch_.clear();
+}
+
+void SimEngine::check_rejoin(core::NodeId id, SimTime now) {
+  if (!nodes_[id].rejoining) return;
+  if (hosts_[id]->trusted().rejoining()) return;  // exchange still running
+  complete_rejoin(id, now);
+}
+
+void SimEngine::complete_rejoin(core::NodeId id, SimTime now) {
+  NodeStatus& status = nodes_[id];
+  status.rejoining = false;
+  ++status.rejoins_completed;
+  status.rejoin_latency_sum_s += (now - status.rejoin_started).seconds;
+  // Training resumes — same restart rule kChurnUp used before the rejoin
+  // protocol existed: only if no timer survived the outage, and for D-PSGD
+  // only if a full round is already buffered (deliveries accepted during
+  // the exchange count).
+  if (status.trains_pending == 0 &&
+      (rex_.algorithm == core::Algorithm::kRmw ||
+       hosts_[id]->trusted().round_ready())) {
+    schedule_train(now, id);
   }
 }
 
@@ -441,11 +568,25 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
   // Shares queued during the protocol run hit the wire when the share
   // stage completes; each envelope then propagates per edge. The batch
   // vector is a recycled slot — drained outboxes cost no allocation once
-  // the pool is warm.
+  // the pool is warm. Control traffic the node raised in the same batch
+  // (rejoin handshake replies, resync responses — DESIGN.md §6) does not
+  // wait for the share stage: it is released immediately.
   const std::uint32_t share_slot = share_slots_.acquire();
   std::vector<net::Envelope>& outbox = share_slots_[share_slot];
   outbox.clear();
   transport_.take_outbox(id, outbox);
+  std::size_t kept = 0;
+  for (net::Envelope& env : outbox) {
+    if (env.kind == net::MessageKind::kProtocol) {
+      if (kept != static_cast<std::size_t>(&env - outbox.data())) {
+        outbox[kept] = std::move(env);
+      }
+      ++kept;
+    } else {
+      release_envelope(std::move(env), start);
+    }
+  }
+  outbox.resize(kept);
   if (!outbox.empty()) {
     schedule(share_release, id, EventKind::kShare, share_slot);
   } else {
@@ -495,9 +636,11 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
   if (dyn.churning() && status.online &&
       jitter_rngs_[id].bernoulli(dyn.churn_probability)) {
     status.online = false;
+    --online_count_;
     status.offline_since = end;
     const double u = jitter_rngs_[id].uniform01();
     const SimTime downtime{-std::log(1.0 - u) * dyn.churn_downtime_s};
+    status.back_online_at = end + downtime;
     // The node computes nothing during the outage: an epoch triggered by a
     // delivery that slipped in before the outage is placed after recovery
     // (its math already ran, but its simulated start, shares and record
@@ -526,7 +669,10 @@ bool SimEngine::process_next_batch() {
     if (hosts_[event.node]->trusted().epochs_completed() >
         nodes_[event.node].epochs_seen) {
       post_epoch(event.node, t);
+    } else {
+      flush_control(event.node, t);  // rejoin traffic raised this event
     }
+    check_rejoin(event.node, t);
     return true;
   }
 
@@ -564,7 +710,10 @@ bool SimEngine::process_next_batch() {
   for (const core::NodeId id : batch_nodes_) {
     if (hosts_[id]->trusted().epochs_completed() > nodes_[id].epochs_seen) {
       post_epoch(id, t);
+    } else {
+      flush_control(id, t);  // rejoin traffic raised this batch
     }
+    check_rejoin(id, t);
   }
   return true;
 }
@@ -600,8 +749,29 @@ void SimEngine::run_epochs(std::size_t epochs) {
       events_processed_ + 1'000'000 +
       static_cast<std::uint64_t>(epochs) * n * 1000;
   while (nodes_below_target_ > 0) {
-    REX_REQUIRE(events_processed_ < cap,
-                "event engine runaway: check period/churn configuration");
+    if (events_processed_ >= cap) {
+      // Name a culprit: the first node still below its target, with the
+      // scheduling state that usually explains a spin (a timer chain
+      // firing without progress, or a rejoin that never completes).
+      std::string detail = "event engine runaway after " +
+                           std::to_string(events_processed_) + " events";
+      for (std::size_t id = 0; id < n; ++id) {
+        const NodeStatus& s = nodes_[id];
+        if (s.epochs_done >= s.epoch_target) continue;
+        detail += ": node " + std::to_string(id) + " at " +
+                  std::to_string(s.epochs_done) + "/" +
+                  std::to_string(s.epoch_target) + " epochs, " +
+                  std::to_string(s.trains_pending) +
+                  " pending train timer(s), " +
+                  (s.online ? (s.rejoining ? "rejoining" : "online")
+                            : "offline") +
+                  "; " + std::to_string(queue_.size()) +
+                  " events queued";
+        break;
+      }
+      detail += " — check period/churn configuration";
+      REX_REQUIRE(events_processed_ < cap, detail);
+    }
     if (!process_next_batch()) {
       // Queue drained before the targets were met — e.g. a D-PSGD
       // neighborhood stalled on deliveries lost to churn. Results are
@@ -638,6 +808,7 @@ void SimEngine::finalize_async_records() {
     RoundRecord record;
     record.epoch = epoch;
     record.nodes_reporting = bucket.contributors;
+    record.reachable_fraction = bucket.reachable_sum / dn;
     record.mean_rmse = bucket.rmse_sum / dn;
     record.min_rmse = bucket.rmse_min;
     record.max_rmse = bucket.rmse_max;

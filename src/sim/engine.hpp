@@ -75,6 +75,20 @@ enum class EngineMode {
   kEventDriven,  // per-node timelines over the event queue
 };
 
+/// What the event engine does with a data share released towards a peer it
+/// knows to be offline (DESIGN.md §6 "Offline shares"). Control traffic
+/// (attestation handshakes, resync) to an offline peer is always elided —
+/// a handshake with a dead peer is pointless, and the rejoiner will
+/// re-initiate when it returns.
+enum class OfflinePolicy : std::uint8_t {
+  /// Elide at the sender: the envelope never transmits, the uplink bytes
+  /// are never accounted, and the destination counts a delivery elided.
+  kDrop,
+  /// Hold at the sender and transmit when the peer's outage ends (the
+  /// release the rejoin challenge would trigger in a real deployment).
+  kDefer,
+};
+
 /// Heterogeneity and failure knobs for event-driven runs (all inert at
 /// their defaults; the barrier engine honors the speed/straggler knobs when
 /// computing round times so barrier-vs-async comparisons are fair).
@@ -88,10 +102,19 @@ struct NodeDynamics {
   /// exp(sigma * |N(0,1)|) >= 1.
   double straggler_lognormal_sigma = 1.0;
   /// Per-epoch probability that a node drops offline after finishing an
-  /// epoch (event-driven runs only). Deliveries to an offline node are lost.
+  /// epoch (event-driven runs only). In-flight deliveries to an offline
+  /// node are lost; shares released while it is known to be down follow
+  /// `offline_shares`; on return the node runs the rejoin protocol
+  /// (re-attestation + state resync, DESIGN.md §6) before training again.
   double churn_probability = 0.0;
   /// Mean offline duration in simulated seconds (exponential).
   double churn_downtime_s = 0.0;
+  /// Policy for data shares released towards a known-offline peer.
+  OfflinePolicy offline_shares = OfflinePolicy::kDrop;
+  /// Rejoin watchdog (simulated seconds): a returning node waits at most
+  /// this long for its re-attestation + resync exchange (a contacted
+  /// neighbor may churn away mid-handshake) before training resumes anyway.
+  double rejoin_timeout_s = 0.5;
 
   [[nodiscard]] bool heterogeneous() const {
     return speed_lognormal_sigma > 0.0 || straggler_probability > 0.0;
@@ -127,6 +150,28 @@ class SimEngine {
     /// effect when the churning epoch *ends*, so deliveries that arrive
     /// while the node is still simulated-computing are not dropped.
     SimTime offline_since;
+    /// End of the current (or last) outage — known at draw time, used by
+    /// the defer policy to release held shares when the peer returns.
+    SimTime back_online_at;
+    /// Rejoin protocol state (DESIGN.md §6): set at kChurnUp, cleared when
+    /// the node's re-attestation + resync exchange completes (or the
+    /// watchdog fires) and its train timer restarts.
+    bool rejoining = false;
+    /// Watchdog generation: a kRejoinDeadline whose slot does not match is
+    /// left over from a previous outage and ignored.
+    std::uint32_t rejoin_gen = 0;
+    SimTime rejoin_started;
+    std::uint64_t rejoins = 0;             // outages ended (kChurnUp events)
+    std::uint64_t rejoins_completed = 0;   // exchanges finished (incl. via
+                                           // watchdog); a run can end with
+                                           // a rejoin still in progress
+    std::uint64_t rejoin_timeouts = 0;     // rejoins force-completed
+    std::uint64_t resync_bytes = 0;        // resync wire bytes received
+    std::uint64_t deliveries_elided = 0;   // shares never sent to this node
+    std::uint64_t deliveries_deferred = 0; // shares held until it returned
+    /// Sum over completed rejoins of (completion - kChurnUp) — the
+    /// re-attestation + resync latency; mean = sum / rejoins_completed.
+    double rejoin_latency_sum_s = 0.0;
     /// Math-time epoch watermark (epochs the engine has accounted for).
     std::uint64_t epochs_seen = 0;
     /// run_epochs() goal (valid while targets are active).
@@ -136,6 +181,13 @@ class SimEngine {
     /// Sender-side wire-occupancy queue (WAN profiles only): outgoing
     /// envelopes serialize through this instead of propagating in parallel.
     TxQueue tx;
+    /// Ingress queue for shares deferred across this node's outages (WAN
+    /// profiles only): held envelopes transmit back-to-back starting at
+    /// back_online_at, in release order — which preserves the per-pair
+    /// FIFO the receive watermark requires (a size-dependent parallel
+    /// release could deliver epoch e+1 before e and trip the replay
+    /// check).
+    TxQueue deferred_rx;
   };
 
   /// Per-undirected-edge delivery counters, kept only when the LinkModel is
@@ -204,6 +256,22 @@ class SimEngine {
   [[nodiscard]] std::uint64_t events_processed() const {
     return events_processed_;
   }
+
+  /// Engine-wide resync traffic totals (DESIGN.md §6). Conservation
+  /// invariant at any quiescent point: tx == rx + in_flight + dropped —
+  /// every resync byte released onto the wire is received, still in the
+  /// queue, or lost to the receiver churning again.
+  struct ResyncTotals {
+    std::uint64_t tx_bytes = 0;        // released onto the wire
+    std::uint64_t rx_bytes = 0;        // delivered
+    std::uint64_t in_flight_bytes = 0; // scheduled, not yet delivered
+    std::uint64_t dropped_bytes = 0;   // receiver offline at delivery
+  };
+  [[nodiscard]] const ResyncTotals& resync_totals() const {
+    return resync_totals_;
+  }
+  /// Nodes currently online (partition-aware metrics).
+  [[nodiscard]] std::size_t online_count() const { return online_count_; }
   [[nodiscard]] SchedulerStats scheduler_stats() const;
   [[nodiscard]] const LinkModel& link_model() const { return links_; }
   /// One entry per LinkModel edge for heterogeneous models (empty
@@ -245,6 +313,22 @@ class SimEngine {
   void post_epoch(core::NodeId id, SimTime start);
   void serial_event_hook(const Event& event);
   void finalize_async_records();
+  /// Releases one envelope onto the wire at `release` (per-edge tx +
+  /// latency; control traffic always serializes through the sender's
+  /// uplink queue) and schedules its kDeliver. Applies the offline-shares
+  /// policy when the destination is known to be down: elide (no
+  /// transmission, nothing accounted) or defer (transmit at the peer's
+  /// return). DESIGN.md §6.
+  void release_envelope(net::Envelope env, SimTime release);
+  /// Drains a node's outbox of control traffic (attestation, resync) and
+  /// releases it at `now`. Only post_epoch may leave protocol shares in an
+  /// outbox; any other producer is a bug this checks for.
+  void flush_control(core::NodeId id, SimTime now);
+  /// Rejoin completion sweep for one node: if its trusted side finished the
+  /// re-attestation + resync exchange this batch, record the latency and
+  /// restart its train timer.
+  void check_rejoin(core::NodeId id, SimTime now);
+  void complete_rejoin(core::NodeId id, SimTime now);
 
   /// One completed node epoch awaiting its kTest timestamp.
   struct PendingEpoch {
@@ -256,6 +340,9 @@ class SimEngine {
   /// Per-epoch-index aggregation bucket for async records.
   struct EpochBucket {
     std::size_t contributors = 0;
+    /// Sum over contributors of the online fraction at their kTest time
+    /// (reachable_fraction = reachable_sum / contributors).
+    double reachable_sum = 0.0;
     double rmse_sum = 0.0;
     double rmse_min = 0.0;
     double rmse_max = 0.0;
@@ -290,7 +377,20 @@ class SimEngine {
 
   std::vector<NodeStatus> nodes_;
   std::vector<EdgeTraffic> edge_traffic_;  // heterogeneous LinkModel only
+  /// Per-directed-pair delivery horizon (heterogeneous LinkModel only,
+  /// indexed 2*edge_id + direction): each link is a FIFO channel, so an
+  /// envelope's delivery is clamped to never precede an earlier release on
+  /// the same pair. Size-dependent transmission times (and deferred
+  /// releases) could otherwise reorder a pair's epochs and trip the
+  /// receiver's watermark (DESIGN.md §6).
+  std::vector<SimTime> pair_deliver_horizon_;
   std::vector<Rng> jitter_rngs_;        // one independent stream per node
+  std::size_t online_count_ = 0;        // nodes currently online
+  ResyncTotals resync_totals_;          // engine-wide resync conservation
+  /// Recycled scratch for flush_control / the kChurnUp neighbor census
+  /// (serial phase only).
+  std::vector<net::Envelope> control_scratch_;
+  std::vector<core::NodeId> online_peers_scratch_;
   /// Whether run_epochs() targets are in force (epoch_target fields valid).
   bool targets_active_ = false;
   /// Nodes with epochs_done < epoch_target — re-censused when targets

@@ -22,7 +22,13 @@ enum class EventKind : std::uint8_t {
   kShare,       // a node's queued shares hit the wire (schedules kDeliver)
   kTest,        // a node's epoch completes: metrics bookkeeping
   kAttestStep,  // one pre-protocol attestation delivery step
-  kChurnUp,     // a churned node comes back online
+  kChurnUp,     // a churned node comes back online (starts the rejoin)
+  /// Rejoin watchdog: if the node's re-attestation + resync exchange has not
+  /// finished by this time (a contacted neighbor churned away mid-handshake),
+  /// the rejoin is force-completed so the node's training resumes instead of
+  /// waiting forever. Event::slot carries the rejoin generation, so a
+  /// deadline left over from a previous outage is ignored.
+  kRejoinDeadline,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind kind) {
@@ -33,6 +39,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kTest: return "test";
     case EventKind::kAttestStep: return "attest";
     case EventKind::kChurnUp: return "churn-up";
+    case EventKind::kRejoinDeadline: return "rejoin-deadline";
   }
   return "?";
 }

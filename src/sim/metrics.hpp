@@ -20,6 +20,10 @@ struct RoundRecord {
   /// for event-driven runs, the nodes that completed this epoch index
   /// (heterogeneous speeds make these counts diverge — by design).
   std::size_t nodes_reporting = 0;
+  /// Partition-aware metric (DESIGN.md §6): mean fraction of the network
+  /// online while this record's contributors completed it. Exactly 1.0 for
+  /// barrier rounds and churn-free event runs.
+  double reachable_fraction = 1.0;
 
   double mean_rmse = 0.0;    // "nodes mean RMSE" (Fig 1/2/4/5 y-axis)
   double min_rmse = 0.0;

@@ -11,16 +11,17 @@ namespace rex::sim {
 void write_csv(const ExperimentResult& result, const std::string& path) {
   std::ofstream out(path);
   REX_REQUIRE(out.good(), "cannot open csv path: " + path);
-  out << "epoch,time_s,nodes_reporting,mean_rmse,min_rmse,max_rmse,"
-         "bytes_in_out,merge_s,train_s,share_s,test_s,memory_bytes,"
-         "store_size\n";
+  out << "epoch,time_s,nodes_reporting,reachable_fraction,mean_rmse,"
+         "min_rmse,max_rmse,bytes_in_out,merge_s,train_s,share_s,test_s,"
+         "memory_bytes,store_size\n";
   for (const RoundRecord& r : result.rounds) {
     char line[512];
     std::snprintf(line, sizeof line,
-                  "%llu,%.6f,%zu,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,%.9f,"
-                  "%.1f,%.1f\n",
+                  "%llu,%.6f,%zu,%.6f,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,"
+                  "%.9f,%.1f,%.1f\n",
                   static_cast<unsigned long long>(r.epoch),
-                  r.cumulative_time.seconds, r.nodes_reporting, r.mean_rmse,
+                  r.cumulative_time.seconds, r.nodes_reporting,
+                  r.reachable_fraction, r.mean_rmse,
                   r.min_rmse, r.max_rmse, r.mean_bytes_in_out,
                   r.mean_stages.merge.seconds, r.mean_stages.train.seconds,
                   r.mean_stages.share.seconds, r.mean_stages.test.seconds,
@@ -33,16 +34,31 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
   std::ofstream out(path);
   REX_REQUIRE(out.good(), "cannot open csv path: " + path);
   out << "node_id,epochs_done,epochs_folded,events_processed,"
-         "deliveries_dropped,slowdown,online\n";
+         "deliveries_dropped,slowdown,online,rejoins,rejoin_timeouts,"
+         "resync_bytes,mean_rejoin_latency_s,deliveries_elided,"
+         "deliveries_deferred\n";
   for (core::NodeId id = 0; id < engine.node_count(); ++id) {
     const SimEngine::NodeStatus& status = engine.node_status(id);
-    char line[256];
-    std::snprintf(line, sizeof line, "%u,%llu,%llu,%llu,%llu,%.6f,%d\n", id,
-                  static_cast<unsigned long long>(status.epochs_done),
+    const double mean_rejoin_latency =
+        status.rejoins_completed > 0
+            ? status.rejoin_latency_sum_s /
+                  static_cast<double>(status.rejoins_completed)
+            : 0.0;
+    char line[384];
+    std::snprintf(line, sizeof line,
+                  "%u,%llu,%llu,%llu,%llu,%.6f,%d,%llu,%llu,%llu,%.9f,%llu,"
+                  "%llu\n",
+                  id, static_cast<unsigned long long>(status.epochs_done),
                   static_cast<unsigned long long>(status.epochs_folded),
                   static_cast<unsigned long long>(status.events_processed),
                   static_cast<unsigned long long>(status.deliveries_dropped),
-                  status.slowdown, status.online ? 1 : 0);
+                  status.slowdown, status.online ? 1 : 0,
+                  static_cast<unsigned long long>(status.rejoins),
+                  static_cast<unsigned long long>(status.rejoin_timeouts),
+                  static_cast<unsigned long long>(status.resync_bytes),
+                  mean_rejoin_latency,
+                  static_cast<unsigned long long>(status.deliveries_elided),
+                  static_cast<unsigned long long>(status.deliveries_deferred));
     out << line;
   }
 }

@@ -233,17 +233,24 @@ TEST(Attestation, SessionKeysEncryptTraffic) {
   (void)b.handle(*q_a);
   ASSERT_TRUE(a.attested() && b.attested());
 
-  // A -> B uses A's send nonce and B's recv nonce, which must agree.
+  // A -> B: A allocates an explicit send position; B derives the same
+  // nonce from it (churn-tolerant framing, DESIGN.md §6) and accepts the
+  // position exactly once.
   const Bytes message = to_bytes("300 raw ratings");
-  const auto nonce_tx = a.next_send_nonce();
+  const std::uint64_t seq = a.next_send_sequence();
+  const auto nonce_tx = a.send_nonce_for(seq);
   const Bytes sealed = crypto::aead_seal(a.session_key(), nonce_tx, {}, message);
-  const auto nonce_rx = b.next_recv_nonce();
+  const auto nonce_rx = b.recv_nonce_for(seq);
   EXPECT_EQ(nonce_tx, nonce_rx);
   const auto opened = crypto::aead_open(b.session_key(), nonce_rx, {}, sealed);
   ASSERT_TRUE(opened.has_value());
   EXPECT_EQ(*opened, message);
-  // Direction separation: B -> A nonces differ from A -> B.
-  EXPECT_NE(b.next_send_nonce(), nonce_tx);
+  EXPECT_TRUE(b.accept_recv_sequence(seq));
+  EXPECT_FALSE(b.accept_recv_sequence(seq));  // replayed position rejected
+  // Direction separation: B -> A nonces differ from A -> B, and the resync
+  // plane differs from the protocol plane at the same position.
+  EXPECT_NE(b.send_nonce_for(0), nonce_tx);
+  EXPECT_NE(a.resync_send_nonce_for(seq), nonce_tx);
 }
 
 TEST(Attestation, RejectsRogueMeasurement) {

@@ -108,16 +108,24 @@ TEST(Transport, Validation) {
   EXPECT_THROW((void)t.stats(7), Error);
 }
 
-TEST(Transport, TakeOutboxDrainsAndAccountsSendSide) {
+TEST(Transport, TakeOutboxLeavesAccountingToTheReleasePoint) {
+  // Event-path contract: take_outbox only moves envelopes; the engine
+  // accounts each one via record_send() when (if) it actually hits the
+  // wire — an envelope elided because its destination is offline never
+  // consumed uplink (DESIGN.md §6).
   Transport t(3);
   t.send(make(0, 1, 10));
   t.send(make(0, 2, 20));
+  EXPECT_EQ(t.outbox_size(0), 2u);
   const auto taken = t.take_outbox(0);
   ASSERT_EQ(taken.size(), 2u);
   EXPECT_EQ(taken[0].dst, 1u);
   EXPECT_EQ(taken[1].dst, 2u);
-  EXPECT_EQ(t.stats(0).messages_sent, 2u);
-  EXPECT_EQ(t.stats(0).bytes_sent, 30 + 2 * Envelope::kHeaderSize);
+  EXPECT_EQ(t.outbox_size(0), 0u);
+  EXPECT_EQ(t.stats(0).messages_sent, 0u);  // nothing released yet
+  t.record_send(taken[0]);
+  EXPECT_EQ(t.stats(0).messages_sent, 1u);
+  EXPECT_EQ(t.stats(0).bytes_sent, 10 + Envelope::kHeaderSize);
   // Nothing was delivered yet: receive side untouched, inboxes empty.
   EXPECT_EQ(t.stats(1).messages_received, 0u);
   EXPECT_EQ(t.inbox_size(1), 0u);
@@ -134,7 +142,7 @@ TEST(Transport, RecordDeliveryAccountsReceiveSide) {
   EXPECT_EQ(t.stats(1).messages_received, 1u);
   EXPECT_EQ(t.stats(1).bytes_received, 40 + Envelope::kHeaderSize);
   EXPECT_EQ(t.epoch_stats(1).bytes_received, 40 + Envelope::kHeaderSize);
-  EXPECT_EQ(t.stats(0).messages_sent, 0u);  // send side is take_outbox's job
+  EXPECT_EQ(t.stats(0).messages_sent, 0u);  // send side is record_send's job
 }
 
 TEST(Transport, DrainMovesPayloadsOutOfTheInbox) {
