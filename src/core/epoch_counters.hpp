@@ -29,6 +29,10 @@ struct EpochCounters {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_serialized = 0;   // plaintext payload bytes produced
   std::uint64_t ratings_shared = 0;
+  /// Wire bytes avoided by payload compression this epoch: the size the
+  /// uncompressed encoding of the same share would have put on every edge,
+  /// minus the bytes actually produced. Zero when compression is off.
+  std::uint64_t bytes_saved_compression = 0;
 
   // test stage
   std::uint64_t test_predictions = 0;

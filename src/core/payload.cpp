@@ -23,6 +23,7 @@ Bytes ProtocolPayload::encode(Bytes scratch) const {
       }
       break;
     case PayloadKind::kModel:
+    case PayloadKind::kModelQuantized:
       w.bytes(model_blob);
       break;
     case PayloadKind::kRawDataCompressed:
@@ -30,6 +31,11 @@ Bytes ProtocolPayload::encode(Bytes scratch) const {
       break;
     case PayloadKind::kResyncRequest:
       w.varint(resync_gen);
+      break;
+    case PayloadKind::kResyncRequestSliced:
+      w.varint(resync_gen);
+      w.u32(slice_count);
+      w.u32(slice_index);
       break;
     case PayloadKind::kResyncModel:
       w.varint(resync_gen);
@@ -50,9 +56,11 @@ void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
   out.ratings.clear();
   out.model_blob.clear();
   out.resync_gen = 0;  // recycled decode targets must not leak a stale gen
+  out.slice_count = 1;
+  out.slice_index = 0;
   const std::uint8_t kind_byte = r.u8();
   REX_REQUIRE(
-      kind_byte <= static_cast<std::uint8_t>(PayloadKind::kResyncModel),
+      kind_byte <= static_cast<std::uint8_t>(PayloadKind::kResyncRequestSliced),
       "unknown payload kind");
   out.kind = static_cast<PayloadKind>(kind_byte);
   out.epoch = r.varint();
@@ -72,7 +80,8 @@ void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
       }
       break;
     }
-    case PayloadKind::kModel: {
+    case PayloadKind::kModel:
+    case PayloadKind::kModelQuantized: {
       // bytes() framing (varint length + raw), assigned so a recycled
       // model_blob keeps its capacity.
       const std::uint64_t n = r.varint();
@@ -81,10 +90,17 @@ void ProtocolPayload::decode_into(BytesView bytes, ProtocolPayload& out) {
       break;
     }
     case PayloadKind::kRawDataCompressed:
-      out.ratings = data::decode_ratings_compressed(r);
+      // Decodes into the recycled ratings buffer — the batch-decode hot
+      // path must not allocate a fresh vector per delivery.
+      data::decode_ratings_compressed(r, out.ratings);
       break;
     case PayloadKind::kResyncRequest:
       out.resync_gen = r.varint();
+      break;
+    case PayloadKind::kResyncRequestSliced:
+      out.resync_gen = r.varint();
+      out.slice_count = r.u32();
+      out.slice_index = r.u32();
       break;
     case PayloadKind::kResyncModel: {
       out.resync_gen = r.varint();

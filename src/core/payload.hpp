@@ -28,6 +28,18 @@ enum class PayloadKind : std::uint8_t {
   /// `model_blob`, `epoch` = the neighbor's completed-epoch count. Travels
   /// refcounted through the zero-copy SharedBytes path like any share.
   kResyncModel = 5,
+  /// MS baseline with the quantized model codec: `model_blob` carries the
+  /// model's serialize_quantized() output (q8 affine per tensor, ~4x
+  /// smaller). A separate kind — not a flag on kModel — so receivers can
+  /// account compressed traffic without sniffing blob magics; the blob
+  /// itself is self-describing, so the merge path treats both identically.
+  kModelQuantized = 6,
+  /// Sliced resync pull (RexConfig::resync_slices > 1): the requester asks
+  /// for rows r with r % slice_count == slice_index only, spreading one
+  /// rejoin's download over several smaller pulls. The reply is a regular
+  /// kResyncModel whose blob is the model's serialize_sliced() output.
+  /// A separate kind so the default resync wire format stays byte-stable.
+  kResyncRequestSliced = 7,
 };
 
 struct ProtocolPayload {
@@ -39,8 +51,12 @@ struct ProtocolPayload {
   /// that outlived its rejoin (watchdog fired, node churned and rejoined
   /// again) cannot complete a newer rejoin it does not belong to.
   std::uint64_t resync_gen = 0;
+  /// Row-slice selector (kResyncRequestSliced only): the responder serves
+  /// embedding rows r with r % slice_count == slice_index.
+  std::uint32_t slice_count = 1;
+  std::uint32_t slice_index = 0;
   std::vector<data::Rating> ratings;  // kRawData
-  Bytes model_blob;                   // kModel
+  Bytes model_blob;                   // kModel / kModelQuantized
 
   /// `scratch` (optional) donates its heap capacity to the encoding — pass
   /// a recycled BufferPool buffer to keep the share path allocation-free.

@@ -178,10 +178,21 @@ void TrustedNode::maybe_send_resync_request(NodeId peer) {
   if (it == resync_pending_.end()) return;
   resync_pending_.erase(it);
   ProtocolPayload request;
-  request.kind = PayloadKind::kResyncRequest;
   request.epoch = epoch_;
   request.sender_degree = static_cast<std::uint32_t>(neighbors_.size());
   request.resync_gen = rejoin_gen_;
+  if (config_.resync_slices > 1) {
+    // Sliced pull: ask for 1/S of the embedding rows only, rotating the
+    // slice across successive pulls so repeated rejoins eventually refresh
+    // every row. Distinct peers in one rejoin get distinct slices, so the
+    // rejoiner still recovers most of the model at a fraction of the bytes.
+    const auto slices = static_cast<std::uint32_t>(config_.resync_slices);
+    request.kind = PayloadKind::kResyncRequestSliced;
+    request.slice_count = slices;
+    request.slice_index = resync_slice_cursor_++ % slices;
+  } else {
+    request.kind = PayloadKind::kResyncRequest;
+  }
   send_resync(peer, request);
   ++resync_awaited_;
 }
@@ -240,14 +251,22 @@ void TrustedNode::ecall_resync(NodeId src, BytesView blob) {
     ProtocolPayload::decode_into(blob, input.payload);
   }
 
-  if (input.payload.kind == PayloadKind::kResyncRequest) {
+  if (input.payload.kind == PayloadKind::kResyncRequest ||
+      input.payload.kind == PayloadKind::kResyncRequestSliced) {
     // Serve the current model so the rejoiner re-enters the pipeline warm.
+    // A sliced request gets the asked-for row subset; the reply is a
+    // regular kResyncModel either way — the blob self-describes its codec,
+    // and deserialize on the other end dispatches on it.
     ProtocolPayload reply;
     reply.kind = PayloadKind::kResyncModel;
     reply.epoch = epoch_;
     reply.sender_degree = static_cast<std::uint32_t>(neighbors_.size());
     reply.resync_gen = input.payload.resync_gen;  // correlate to the rejoin
-    reply.model_blob = model_->serialize();
+    reply.model_blob =
+        input.payload.kind == PayloadKind::kResyncRequestSliced
+            ? model_->serialize_sliced(input.payload.slice_count,
+                                       input.payload.slice_index)
+            : model_->serialize();
     resync_model_bytes_sent_ += reply.model_blob.size();
     send_resync(src, reply);
   } else if (input.payload.kind == PayloadKind::kResyncModel) {
@@ -297,13 +316,6 @@ void TrustedNode::reset_neighbor_state() {
   filled_slots_ = 0;
 }
 
-TrustedNode::PendingInput TrustedNode::acquire_input() {
-  if (input_pool_.empty()) return PendingInput{};
-  PendingInput input = std::move(input_pool_.back());
-  input_pool_.pop_back();
-  return input;
-}
-
 bool TrustedNode::attested_with(NodeId peer) const {
   const auto it = sessions_.find(peer);
   return it != sessions_.end() && it->second.attested();
@@ -327,7 +339,7 @@ void TrustedNode::ecall_init(TrustedInit init) {
   // Algorithm 2 lines 2-3: copy the local partition into protected memory
   // and initialize data structures.
   store_ = std::move(init.local_train);
-  store_index_.reserve(store_.size() * 2);
+  store_index_.reserve(store_.size());
   for (const data::Rating& r : store_) store_index_.insert(pair_key(r));
   test_data_ = std::move(init.local_test);
   if (neighbors_.empty() && !init.neighbors.empty()) {
@@ -462,6 +474,19 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   }
 }
 
+void TrustedNode::ecall_input_batch(std::span<const InputFrame> frames) {
+  // One enclave entry for a whole same-timestamp delivery run. The body is
+  // a strict loop of ecall_input: per-frame accounting (record_ecall) and
+  // the mid-batch protocol trigger must happen at exactly the per-message
+  // points — pending_bytes_deserialized_ folds into the epoch that consumes
+  // the messages, so decoding frame k+1 before frame k's completed round
+  // runs would shift bytes into the wrong epoch's counters. The win is the
+  // single ecall boundary and the decode loop's locality, not reordering.
+  for (const InputFrame& frame : frames) {
+    ecall_input(frame.src, frame.blob);
+  }
+}
+
 void TrustedNode::ecall_train_due() {
   REX_REQUIRE(initialized_, "train event before ecall_init");
   runtime_.record_ecall(0);
@@ -504,76 +529,88 @@ void TrustedNode::rex_protocol() {
 void TrustedNode::merge_step() {
   if (filled_slots_ == 0) return;
 
-  // This round's inputs: D-PSGD consumes exactly one payload per neighbor
-  // (oldest first — event-driven pipelining may buffer several rounds from
-  // a fast neighbor); RMW consumes everything since its last period, in
-  // arrival order ("upon receiving a model, a node averages it", §III-C1 —
-  // under the barrier, arrival order and neighbor-id order coincide).
-  // Slots are visited in neighbor-rank order == ascending NodeId, the same
-  // iteration order the NodeId-keyed map used to give.
-  std::vector<PendingInput>& round = round_scratch_;
-  round.clear();
   if (config_.algorithm == Algorithm::kDpsgd) {
-    for (NeighborSlot& slot : slots_) {
-      if (slot.inputs.empty()) continue;
-      round.push_back(std::move(slot.inputs.front()));
-      slot.inputs.erase(slot.inputs.begin());
-      if (slot.inputs.empty()) --filled_slots_;
-    }
-  } else {
-    for (NeighborSlot& slot : slots_) {
-      for (PendingInput& input : slot.inputs) {
-        round.push_back(std::move(input));
-      }
-      slot.inputs.clear();
-    }
-    filled_slots_ = 0;
-    std::sort(round.begin(), round.end(),
-              [](const PendingInput& a, const PendingInput& b) {
-                return a.arrival < b.arrival;
-              });
-  }
-
-  if (config_.sharing == SharingMode::kRawData) {
-    // Algorithm 2 line 16: append all non-duplicate alien data items.
-    for (PendingInput& input : round) {
-      const ProtocolPayload& payload = input.payload;
-      if (payload.kind == PayloadKind::kRawData ||
-          payload.kind == PayloadKind::kRawDataCompressed) {
-        append_raw_data(payload.ratings);
-      }
-    }
-  } else if (config_.algorithm == Algorithm::kDpsgd) {
-    // Model sharing: deserialize alien models and merge (line 15). Alien
-    // models are materialized into a reusable scratch pool: deserialize
-    // overwrites every field, so recycling clones avoids re-running the
-    // (expensive) random initialization of a factory-fresh model per epoch.
-    // Metropolis–Hastings weighted average over all received models
-    // (§III-C2); the self weight absorbs the remainder.
+    // D-PSGD consumes exactly one payload per neighbor (oldest first —
+    // event-driven pipelining may buffer several rounds from a fast
+    // neighbor), visited in neighbor-rank order == ascending NodeId, the
+    // same order the old staging pass produced. Each slot's front payload
+    // is processed *in place*: a round moves no PendingInput through a
+    // staging vector, which profiled as a top merge cost at 10k nodes.
+    // Model sharing gathers the Metropolis–Hastings weighted sources first
+    // (§III-C2; the self weight absorbs the remainder), with alien models
+    // materialized into a reusable scratch pool — deserialize overwrites
+    // every field, so recycling clones avoids re-running the (expensive)
+    // random initialization of a factory-fresh model per merge.
     std::vector<ml::MergeSource> sources;
     double neighbor_weight_total = 0.0;
     std::size_t pool_index = 0;
-    for (PendingInput& input : round) {
-      const ProtocolPayload& payload = input.payload;
-      if (payload.kind != PayloadKind::kModel) continue;
-      ml::RecModel& alien = alien_scratch(pool_index++);
-      alien.deserialize(payload.model_blob);
-      const double w = graph::metropolis_hastings_weight(
-          neighbors_.size(), payload.sender_degree);
-      sources.push_back(ml::MergeSource{&alien, w});
-      neighbor_weight_total += w;
-      counters_.merged_params += alien.parameter_count();
-      ++counters_.models_merged;
+    for (NeighborSlot& slot : slots_) {
+      if (slot.inputs.empty()) continue;
+      const ProtocolPayload& payload = slot.inputs.front().payload;
+      if (config_.sharing == SharingMode::kRawData) {
+        // Algorithm 2 line 16: append all non-duplicate alien data items.
+        if (payload.kind == PayloadKind::kRawData ||
+            payload.kind == PayloadKind::kRawDataCompressed) {
+          append_raw_data(payload.ratings);
+        }
+      } else if (payload.kind == PayloadKind::kModel ||
+                 payload.kind == PayloadKind::kModelQuantized) {
+        // The blob self-describes its codec; deserialize dispatches on it.
+        ml::RecModel& alien = alien_scratch(pool_index++);
+        alien.deserialize(payload.model_blob);
+        const double w = graph::metropolis_hastings_weight(
+            neighbors_.size(), payload.sender_degree);
+        sources.push_back(ml::MergeSource{&alien, w});
+        neighbor_weight_total += w;
+        counters_.merged_params += alien.parameter_count();
+        ++counters_.models_merged;
+      }
     }
     if (!sources.empty()) {
       model_->merge(sources, 1.0 - neighbor_weight_total);
     }
-  } else {
-    // RMW: pairwise averaging in arrival order ("upon receiving a model,
-    // a node averages it with its own", §III-C1).
-    for (PendingInput& input : round) {
-      const ProtocolPayload& payload = input.payload;
-      if (payload.kind != PayloadKind::kModel) continue;
+    // Release the consumed fronts, recycling their buffers as the next
+    // deliveries' decode targets (cleared, capacity kept).
+    for (NeighborSlot& slot : slots_) {
+      if (slot.inputs.empty()) continue;
+      PendingInput input = std::move(slot.inputs.front());
+      slot.inputs.erase(slot.inputs.begin());
+      if (slot.inputs.empty()) --filled_slots_;
+      input.payload.ratings.clear();
+      input.payload.model_blob.clear();
+      input_pool_.push_back(std::move(input));
+    }
+    return;
+  }
+
+  // RMW consumes everything since its last period, in arrival order ("upon
+  // receiving a model, a node averages it", §III-C1 — under the barrier,
+  // arrival order and neighbor-id order coincide), so its inputs stage
+  // through round_scratch_ for the arrival sort.
+  std::vector<PendingInput>& round = round_scratch_;
+  round.clear();
+  for (NeighborSlot& slot : slots_) {
+    for (PendingInput& input : slot.inputs) {
+      round.push_back(std::move(input));
+    }
+    slot.inputs.clear();
+  }
+  filled_slots_ = 0;
+  std::sort(round.begin(), round.end(),
+            [](const PendingInput& a, const PendingInput& b) {
+              return a.arrival < b.arrival;
+            });
+
+  for (PendingInput& input : round) {
+    const ProtocolPayload& payload = input.payload;
+    if (config_.sharing == SharingMode::kRawData) {
+      if (payload.kind == PayloadKind::kRawData ||
+          payload.kind == PayloadKind::kRawDataCompressed) {
+        append_raw_data(payload.ratings);
+      }
+    } else if (payload.kind == PayloadKind::kModel ||
+               payload.kind == PayloadKind::kModelQuantized) {
+      // Pairwise averaging in arrival order (§III-C1).
       ml::RecModel& alien = alien_scratch(0);
       alien.deserialize(payload.model_blob);
       const ml::MergeSource source{&alien, 0.5};
@@ -600,7 +637,7 @@ ml::RecModel& TrustedNode::alien_scratch(std::size_t index) {
 
 void TrustedNode::append_raw_data(const std::vector<data::Rating>& ratings) {
   for (const data::Rating& r : ratings) {
-    if (store_index_.insert(pair_key(r)).second) {
+    if (store_index_.insert(pair_key(r))) {
       store_.push_back(r);
       ++counters_.ratings_appended;
     } else {
@@ -623,6 +660,20 @@ void TrustedNode::train_step() {
   }
 }
 
+namespace {
+
+/// Encoded length of a BinaryWriter varint (LEB128: 7 bits per byte).
+std::size_t varint_len(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
 void TrustedNode::share_step() {
   if (neighbors_.empty()) return;
   const ProtocolPayload payload = build_share_payload();
@@ -631,6 +682,27 @@ void TrustedNode::share_step() {
   Bytes plaintext =
       payload.encode(payload_pool_ ? payload_pool_->acquire() : Bytes{});
 
+  // Wire-compression savings, per message: what the uncompressed encoding
+  // of this share would have cost minus what it actually costs. The header
+  // (kind + epoch varint + degree) is identical between the codec pairs,
+  // so whole-plaintext arithmetic is exact.
+  std::size_t saved_per_message = 0;
+  if (payload.kind == PayloadKind::kRawDataCompressed) {
+    const std::size_t plain_size =
+        1 + varint_len(payload.epoch) + sizeof(std::uint32_t) +
+        varint_len(payload.ratings.size()) + 12 * payload.ratings.size();
+    saved_per_message =
+        plain_size > plaintext.size() ? plain_size - plaintext.size() : 0;
+  } else if (payload.kind == PayloadKind::kModelQuantized) {
+    const std::size_t blob = model_->wire_size();  // raw-f32 codec size
+    const std::size_t plain_size = 1 + varint_len(payload.epoch) +
+                                   sizeof(std::uint32_t) + varint_len(blob) +
+                                   blob;
+    saved_per_message =
+        plain_size > plaintext.size() ? plain_size - plaintext.size() : 0;
+  }
+
+  const std::uint64_t sent_before = counters_.messages_sent;
   if (config_.algorithm == Algorithm::kRmw) {
     // One uniformly random neighbor (§III-C1).
     const NodeId dst = neighbors_[rng_.uniform(neighbors_.size())];
@@ -639,6 +711,10 @@ void TrustedNode::share_step() {
     // All neighbors (§III-C2).
     share_with(neighbors_, std::move(plaintext));
   }
+  // Count savings only for messages that actually left (secure runs skip
+  // destinations whose session is mid-re-attestation).
+  counters_.bytes_saved_compression +=
+      saved_per_message * (counters_.messages_sent - sent_before);
 }
 
 ProtocolPayload TrustedNode::build_share_payload() {
@@ -660,6 +736,11 @@ ProtocolPayload TrustedNode::build_share_payload() {
       payload.ratings.push_back(store_[rng_.uniform(store_.size())]);
     }
     counters_.ratings_shared += payload.ratings.size();
+  } else if (config_.quantize_model_shares) {
+    // MS with the quantized codec: ~4x smaller on the wire, bounded
+    // per-parameter error (the receive path dispatches on the blob magic).
+    payload.kind = PayloadKind::kModelQuantized;
+    payload.model_blob = model_->serialize_quantized();
   } else {
     payload.kind = PayloadKind::kModel;
     payload.model_blob = model_->serialize();

@@ -13,7 +13,6 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "core/config.hpp"
@@ -24,6 +23,7 @@
 #include "enclave/runtime.hpp"
 #include "ml/model.hpp"
 #include "net/message.hpp"
+#include "support/flat_set64.hpp"
 
 namespace rex::core {
 
@@ -126,6 +126,22 @@ class TrustedNode {
   /// ecall_input: protocol message from `src`. Decrypts (SGX mode), buffers,
   /// and — for D-PSGD — runs the epoch once all neighbors delivered.
   void ecall_input(NodeId src, BytesView blob);
+
+  /// One buffered delivery for ecall_input_batch: the sender plus a view of
+  /// the wire blob (the caller keeps the backing envelopes alive).
+  struct InputFrame {
+    NodeId src = 0;
+    BytesView blob;
+  };
+
+  /// Batched ecall_input: one enclave entry for a run of same-timestamp
+  /// deliveries to this node. Semantically a loop of ecall_input — the
+  /// per-envelope accounting (record_ecall) and the mid-batch protocol
+  /// trigger (a D-PSGD round completing on frame k runs before frame k+1
+  /// decodes) are preserved exactly, because deserialization bytes fold
+  /// into the epoch that consumes them and reordering decodes across a
+  /// round boundary would shift that accounting.
+  void ecall_input_batch(std::span<const InputFrame> frames);
 
   /// Train-timer event: RMW trains every period regardless of arrivals
   /// (§III-C1); the period itself (RexConfig::rmw_period_s) is scheduled by
@@ -230,6 +246,10 @@ class TrustedNode {
   std::vector<NodeId> resync_pending_;
   /// Resync replies outstanding; rejoining_ clears when this hits zero.
   std::size_t resync_awaited_ = 0;
+  /// Rotating slice selector for sliced resync pulls (resync_slices > 1):
+  /// successive pulls walk the slices so repeated rejoins eventually
+  /// refresh every row.
+  std::uint32_t resync_slice_cursor_ = 0;
   /// Rejoin generation: stamped into resync requests and echoed by the
   /// reply, so a reply that outlived its rejoin (watchdog fired, another
   /// outage and rejoin happened) cannot complete the newer rejoin.
@@ -252,7 +272,7 @@ class TrustedNode {
   std::unique_ptr<ml::RecModel> model_;
   std::vector<std::unique_ptr<ml::RecModel>> alien_pool_;  // merge scratch
   std::vector<data::Rating> store_;       // raw-data store (protected memory)
-  std::unordered_set<std::uint64_t> store_index_;  // duplicate filter
+  FlatSet64 store_index_;                 // duplicate filter (hot path)
   std::vector<data::Rating> test_data_;
 
   /// One buffered protocol input: the payload plus its arrival rank (the
@@ -267,8 +287,14 @@ class TrustedNode {
   [[nodiscard]] std::size_t neighbor_index(NodeId src) const;
   /// (Re)sizes the per-neighbor slot arrays after neighbors_ changes.
   void reset_neighbor_state();
-  /// Recycled PendingInput (freelist pop or fresh).
-  [[nodiscard]] PendingInput acquire_input();
+  /// Recycled PendingInput (freelist pop or fresh). Inline: one call per
+  /// delivered protocol message.
+  [[nodiscard]] PendingInput acquire_input() {
+    if (input_pool_.empty()) return PendingInput{};
+    PendingInput input = std::move(input_pool_.back());
+    input_pool_.pop_back();
+    return input;
+  }
 
   /// Per-neighbor receive state (indexed by neighbor rank, parallel to
   /// neighbors_): the FIFO of buffered inputs plus the replay watermark —

@@ -32,11 +32,9 @@ void sort_batch(std::vector<Rating>& batch) {
             });
 }
 
-}  // namespace
-
-void encode_ratings_compressed(serialize::BinaryWriter& w,
-                               std::vector<Rating> batch) {
-  sort_batch(batch);
+/// Encoder body over an already-sorted batch.
+void encode_sorted(serialize::BinaryWriter& w,
+                   const std::vector<Rating>& batch) {
   w.varint(batch.size());
 
   // Delta-encoded ids: users are non-decreasing; items are non-decreasing
@@ -69,10 +67,31 @@ void encode_ratings_compressed(serialize::BinaryWriter& w,
   if (half) w.u8(pending);
 }
 
-std::vector<Rating> decode_ratings_compressed(serialize::BinaryReader& r) {
+std::vector<Rating>& tls_sort_scratch() {
+  static thread_local std::vector<Rating> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void encode_ratings_compressed(serialize::BinaryWriter& w,
+                               std::span<const Rating> batch,
+                               std::vector<Rating>& scratch) {
+  scratch.assign(batch.begin(), batch.end());
+  sort_batch(scratch);
+  encode_sorted(w, scratch);
+}
+
+void encode_ratings_compressed(serialize::BinaryWriter& w,
+                               std::span<const Rating> batch) {
+  encode_ratings_compressed(w, batch, tls_sort_scratch());
+}
+
+void decode_ratings_compressed(serialize::BinaryReader& r,
+                               std::vector<Rating>& out) {
   const std::uint64_t count = r.varint();
-  std::vector<Rating> batch;
-  batch.reserve(count);
+  out.clear();
+  out.reserve(count);
 
   UserId prev_user = 0;
   ItemId prev_item = 0;
@@ -86,26 +105,31 @@ std::vector<Rating> decode_ratings_compressed(serialize::BinaryReader& r) {
     REX_REQUIRE(item_delta <= 0xFFFFFFFFull, "item delta out of range");
     const ItemId item =
         prev_item + static_cast<ItemId>(item_delta);
-    batch.push_back(Rating{user, item, 0.0f});
+    out.push_back(Rating{user, item, 0.0f});
     prev_user = user;
     prev_item = item;
   }
 
   for (std::uint64_t i = 0; i < count; i += 2) {
     const std::uint8_t byte = r.u8();
-    batch[i].value = code_rating(byte & 0x0F);
+    out[i].value = code_rating(byte & 0x0F);
     if (i + 1 < count) {
-      batch[i + 1].value = code_rating(byte >> 4);
+      out[i + 1].value = code_rating(byte >> 4);
     } else {
       REX_REQUIRE((byte >> 4) == 0, "trailing rating nibble must be zero");
     }
   }
+}
+
+std::vector<Rating> decode_ratings_compressed(serialize::BinaryReader& r) {
+  std::vector<Rating> batch;
+  decode_ratings_compressed(r, batch);
   return batch;
 }
 
-std::size_t compressed_ratings_size(std::vector<Rating> batch) {
+std::size_t compressed_ratings_size(std::span<const Rating> batch) {
   serialize::BinaryWriter w;
-  encode_ratings_compressed(w, std::move(batch));
+  encode_ratings_compressed(w, batch, tls_sort_scratch());
   return w.size();
 }
 

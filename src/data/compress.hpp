@@ -11,6 +11,7 @@
 // order is immaterial — documented in encode_ratings_compressed).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -21,15 +22,30 @@ namespace rex::data {
 /// Encodes a batch of ratings into `w`. NOTE: the batch is encoded in
 /// sorted (user, item) order — decode returns that order, not the input
 /// order. REX receivers treat batches as sets (store append + dedup).
+/// `scratch` holds the sorted copy (the input is not mutated); its heap
+/// capacity is reused across calls, so the share path never allocates for
+/// the sort pass.
 void encode_ratings_compressed(serialize::BinaryWriter& w,
-                               std::vector<Rating> batch);
+                               std::span<const Rating> batch,
+                               std::vector<Rating>& scratch);
 
-/// Decodes a batch encoded by encode_ratings_compressed.
+/// Convenience overload backed by a thread-local scratch buffer.
+void encode_ratings_compressed(serialize::BinaryWriter& w,
+                               std::span<const Rating> batch);
+
+/// Decodes a batch encoded by encode_ratings_compressed into `out`
+/// (cleared first, heap capacity recycled — the receive path's
+/// counterpart of the scratch-taking encoder).
+void decode_ratings_compressed(serialize::BinaryReader& r,
+                               std::vector<Rating>& out);
+
+/// Convenience overload returning a fresh vector.
 [[nodiscard]] std::vector<Rating> decode_ratings_compressed(
     serialize::BinaryReader& r);
 
-/// Exact encoded size of a batch (for network accounting without encoding).
+/// Exact encoded size of a batch (for network accounting without keeping
+/// the encoding). Copies nothing beyond the thread-local sort scratch.
 [[nodiscard]] std::size_t compressed_ratings_size(
-    std::vector<Rating> batch);
+    std::span<const Rating> batch);
 
 }  // namespace rex::data

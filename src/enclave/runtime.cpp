@@ -1,44 +1,13 @@
 #include "enclave/runtime.hpp"
 
-#include <algorithm>
-
 #include "support/error.hpp"
 
 namespace rex::enclave {
-
-void Runtime::record_ecall(std::size_t argument_bytes) {
-  if (!secure()) return;
-  ++stats_.ecalls;
-  stats_.ecall_bytes += argument_bytes;
-}
-
-void Runtime::record_ocall(std::size_t argument_bytes) {
-  if (!secure()) return;
-  ++stats_.ocalls;
-  stats_.ocall_bytes += argument_bytes;
-}
-
-void Runtime::record_crypto(std::size_t bytes) {
-  if (!secure()) return;
-  stats_.sealed_bytes += bytes;
-}
-
-void Runtime::track_allocation(std::size_t bytes) {
-  stats_.resident_bytes += bytes;
-  stats_.peak_resident_bytes =
-      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
-}
 
 void Runtime::track_release(std::size_t bytes) {
   REX_CHECK(bytes <= stats_.resident_bytes,
             "releasing more enclave memory than allocated");
   stats_.resident_bytes -= bytes;
-}
-
-void Runtime::set_resident(std::size_t bytes) {
-  stats_.resident_bytes = bytes;
-  stats_.peak_resident_bytes =
-      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
 }
 
 double Runtime::memory_slowdown() const {

@@ -41,17 +41,40 @@ class Runtime {
   }
 
   /// Boundary crossings (no-ops for accounting purposes in native mode —
-  /// a native build has plain function calls here).
-  void record_ecall(std::size_t argument_bytes);
-  void record_ocall(std::size_t argument_bytes);
+  /// a native build has plain function calls here). Inline: the learning
+  /// cell crosses the boundary millions of times per run and these are
+  /// two-instruction counter bumps.
+  void record_ecall(std::size_t argument_bytes) {
+    if (!secure()) return;
+    ++stats_.ecalls;
+    stats_.ecall_bytes += argument_bytes;
+  }
+  void record_ocall(std::size_t argument_bytes) {
+    if (!secure()) return;
+    ++stats_.ocalls;
+    stats_.ocall_bytes += argument_bytes;
+  }
 
   /// Payload bytes passed through the channel AEAD.
-  void record_crypto(std::size_t bytes);
+  void record_crypto(std::size_t bytes) {
+    if (!secure()) return;
+    stats_.sealed_bytes += bytes;
+  }
 
   /// Enclave heap accounting (allocations inside the trusted partition).
-  void track_allocation(std::size_t bytes);
+  void track_allocation(std::size_t bytes) {
+    stats_.resident_bytes += bytes;
+    if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+      stats_.peak_resident_bytes = stats_.resident_bytes;
+    }
+  }
   void track_release(std::size_t bytes);
-  void set_resident(std::size_t bytes);
+  void set_resident(std::size_t bytes) {
+    stats_.resident_bytes = bytes;
+    if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+      stats_.peak_resident_bytes = stats_.resident_bytes;
+    }
+  }
 
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   [[nodiscard]] const EpcModel& epc() const { return epc_; }

@@ -1,66 +1,101 @@
 // BLAS-1 style kernels over contiguous float spans.
 //
-// These are the hot loops of MF/DNN training and of model merging; they are
-// written as simple indexed loops the compiler auto-vectorizes. float (not
+// These are the hot loops of MF/DNN training and of model merging. Small
+// inputs (under one or two vector widths — MF embedding rows are 2..20
+// floats) stay on the inline scalar loops; larger inputs route to the
+// runtime-dispatched SIMD layer (simd_kernels.hpp, DESIGN.md §7). The two
+// paths are bit-identical for the elementwise kernels, and the reductions
+// only leave the exact scalar algorithm under the opt-in
+// REX_FAST_REDUCTIONS knob, so the split never moves a result. float (not
 // double) matches the paper's model-size accounting.
 #pragma once
 
 #include <cmath>
 #include <span>
 
+#include "linalg/simd_kernels.hpp"
 #include "support/error.hpp"
 
 namespace rex::linalg {
+
+/// Inputs shorter than this skip the dispatch call: at MF dimensions the
+/// call overhead exceeds any vector win (one AVX2 lane is 8 floats).
+inline constexpr std::size_t kSimdThreshold = 16;
 
 /// Σ a[i] * b[i]
 [[nodiscard]] inline float dot(std::span<const float> a,
                                std::span<const float> b) {
   REX_REQUIRE(a.size() == b.size(), "dot: size mismatch");
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  if (a.size() < kSimdThreshold) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+  }
+  return simd::dot(a.data(), b.data(), a.size());
 }
 
 /// y += alpha * x
 inline void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   REX_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  if (x.size() < kSimdThreshold) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    return;
+  }
+  simd::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 /// x *= alpha
 inline void scale(std::span<float> x, float alpha) {
-  for (float& v : x) v *= alpha;
+  if (x.size() < kSimdThreshold) {
+    for (float& v : x) v *= alpha;
+    return;
+  }
+  simd::scale(x.data(), alpha, x.size());
 }
 
 /// dst = w_dst * dst + w_src * src   (merge kernel)
 inline void weighted_sum_inplace(std::span<float> dst, float w_dst,
                                  std::span<const float> src, float w_src) {
   REX_REQUIRE(dst.size() == src.size(), "weighted_sum: size mismatch");
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = w_dst * dst[i] + w_src * src[i];
+  if (dst.size() < kSimdThreshold) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = w_dst * dst[i] + w_src * src[i];
+    }
+    return;
   }
+  simd::weighted_sum(dst.data(), w_dst, src.data(), w_src, dst.size());
 }
 
 /// sqrt(Σ x[i]^2)
 [[nodiscard]] inline float l2_norm(std::span<const float> x) {
-  double acc = 0.0;  // double accumulator: long sums of squares
-  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
-  return static_cast<float>(std::sqrt(acc));
+  if (x.size() < kSimdThreshold) {
+    double acc = 0.0;  // double accumulator: long sums of squares
+    for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+    return static_cast<float>(std::sqrt(acc));
+  }
+  return simd::l2_norm(x.data(), x.size());
 }
 
 /// Σ |x[i] - y[i]|
 [[nodiscard]] inline float l1_distance(std::span<const float> x,
                                        std::span<const float> y) {
   REX_REQUIRE(x.size() == y.size(), "l1_distance: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += std::fabs(static_cast<double>(x[i]) - static_cast<double>(y[i]));
+  if (x.size() < kSimdThreshold) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc += std::fabs(static_cast<double>(x[i]) - static_cast<double>(y[i]));
+    }
+    return static_cast<float>(acc);
   }
-  return static_cast<float>(acc);
+  return simd::l1_distance(x.data(), y.data(), x.size());
 }
 
 inline void fill(std::span<float> x, float value) {
-  for (float& v : x) v = value;
+  if (x.size() < kSimdThreshold) {
+    for (float& v : x) v = value;
+    return;
+  }
+  simd::fill(x.data(), value, x.size());
 }
 
 }  // namespace rex::linalg

@@ -1,7 +1,9 @@
 #include "ml/mf.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "linalg/simd_kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "serialize/binary.hpp"
 #include "support/error.hpp"
@@ -34,6 +36,19 @@ float MfModel::predict(data::UserId user, data::ItemId item) const {
          linalg::dot(user_embeddings_.row(user), item_embeddings_.row(item));
 }
 
+double MfModel::rmse(std::span<const data::Rating> ratings) const {
+  if (ratings.empty()) return 0.0;
+  double acc = 0.0;
+  for (const data::Rating& r : ratings) {
+    const float prediction = std::clamp(predict(r.user, r.item),
+                                        data::kMinRating, data::kMaxRating);
+    const double error = static_cast<double>(prediction) -
+                         static_cast<double>(r.value);
+    acc += error * error;
+  }
+  return std::sqrt(acc / static_cast<double>(ratings.size()));
+}
+
 void MfModel::sgd_step(const data::Rating& rating) {
   const auto u = rating.user;
   const auto i = rating.item;
@@ -48,10 +63,16 @@ void MfModel::sgd_step(const data::Rating& rating) {
 
   auto x = user_embeddings_.row(u);
   auto y = item_embeddings_.row(i);
-  for (std::size_t l = 0; l < config_.embedding_dim; ++l) {
-    const float x_old = x[l];
-    x[l] += lr * (error * y[l] - lambda * x[l]);
-    y[l] += lr * (error * x_old - lambda * y[l]);
+  if (config_.embedding_dim < linalg::kSimdThreshold) {
+    // Paper-scale dims (k = 2..10) stay inline; same ops as the kernel.
+    for (std::size_t l = 0; l < config_.embedding_dim; ++l) {
+      const float x_old = x[l];
+      x[l] += lr * (error * y[l] - lambda * x[l]);
+      y[l] += lr * (error * x_old - lambda * y[l]);
+    }
+  } else {
+    linalg::simd::mf_sgd_rows(x.data(), y.data(), config_.embedding_dim,
+                              error, lr, lambda);
   }
   seen_user_[u] = 1;
   seen_item_[i] = 1;
@@ -183,7 +204,16 @@ Bytes MfModel::serialize() const {
 
 void MfModel::deserialize(BytesView payload) {
   serialize::BinaryReader r(payload);
-  REX_REQUIRE(r.str() == kind(), "payload is not an MF model");
+  const std::string magic = r.str();
+  if (magic == "mfq") {
+    deserialize_quantized(r);
+    return;
+  }
+  if (magic == "mfs") {
+    deserialize_sliced(r);
+    return;
+  }
+  REX_REQUIRE(magic == kind(), "payload is not an MF model");
   REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
                   r.u32() == config_.embedding_dim,
               "MF model shape mismatch");
@@ -200,6 +230,158 @@ void MfModel::deserialize(BytesView payload) {
   };
   read_mask(seen_user_);
   read_mask(seen_item_);
+  r.expect_end();
+}
+
+namespace {
+
+/// q8 affine tensor codec: (min, scale, one byte per value). scale is
+/// chosen so code 255 hits max exactly; a constant tensor degenerates to
+/// scale 0 and all-zero codes.
+void write_q8_tensor(serialize::BinaryWriter& w, std::span<const float> t) {
+  float lo = t.empty() ? 0.0f : t[0], hi = lo;
+  for (float v : t) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float scale = (hi - lo) / 255.0f;
+  const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+  w.f32(lo);
+  w.f32(scale);
+  for (float v : t) {
+    const float q = std::round((v - lo) * inv);
+    w.u8(static_cast<std::uint8_t>(std::clamp(q, 0.0f, 255.0f)));
+  }
+}
+
+void read_q8_tensor(serialize::BinaryReader& r, std::span<float> t) {
+  const float lo = r.f32();
+  const float scale = r.f32();
+  const BytesView codes = r.raw(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = lo + scale * static_cast<float>(codes[i]);
+  }
+}
+
+/// Rows r in [0, n) with r % count == index.
+std::size_t slice_rows(std::size_t n, std::uint32_t count,
+                       std::uint32_t index) {
+  return n > index ? (n - index + count - 1) / count : 0;
+}
+
+}  // namespace
+
+Bytes MfModel::serialize_quantized() const {
+  serialize::BinaryWriter w;
+  w.str("mfq");
+  w.u32(static_cast<std::uint32_t>(config_.n_users));
+  w.u32(static_cast<std::uint32_t>(config_.n_items));
+  w.u32(static_cast<std::uint32_t>(config_.embedding_dim));
+  write_q8_tensor(w, user_embeddings_.flat());
+  write_q8_tensor(w, item_embeddings_.flat());
+  write_q8_tensor(w, user_bias_);
+  write_q8_tensor(w, item_bias_);
+  const auto write_mask = [&w](const std::vector<std::uint8_t>& mask) {
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      byte |= static_cast<std::uint8_t>((mask[i] & 1) << (i % 8));
+      if (i % 8 == 7 || i + 1 == mask.size()) {
+        w.u8(byte);
+        byte = 0;
+      }
+    }
+  };
+  write_mask(seen_user_);
+  write_mask(seen_item_);
+  return w.take();
+}
+
+void MfModel::deserialize_quantized(serialize::BinaryReader& r) {
+  REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
+                  r.u32() == config_.embedding_dim,
+              "MF model shape mismatch");
+  read_q8_tensor(r, user_embeddings_.flat());
+  read_q8_tensor(r, item_embeddings_.flat());
+  read_q8_tensor(r, user_bias_);
+  read_q8_tensor(r, item_bias_);
+  const auto read_mask = [&r](std::vector<std::uint8_t>& mask) {
+    std::uint8_t byte = 0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (i % 8 == 0) byte = r.u8();
+      mask[i] = (byte >> (i % 8)) & 1;
+    }
+  };
+  read_mask(seen_user_);
+  read_mask(seen_item_);
+  r.expect_end();
+}
+
+Bytes MfModel::serialize_sliced(std::uint32_t slice_count,
+                                std::uint32_t slice_index) const {
+  REX_REQUIRE(slice_count > 0 && slice_index < slice_count,
+              "invalid MF slice spec");
+  if (slice_count == 1) return serialize();  // slice 0 of 1 == full model
+  serialize::BinaryWriter w;
+  w.str("mfs");
+  w.u32(static_cast<std::uint32_t>(config_.n_users));
+  w.u32(static_cast<std::uint32_t>(config_.n_items));
+  w.u32(static_cast<std::uint32_t>(config_.embedding_dim));
+  w.u32(slice_count);
+  w.u32(slice_index);
+  // Slice rows are fully determined by (count, index): no ids on the wire.
+  const auto write_rows = [&](const linalg::Matrix& emb,
+                              const std::vector<float>& bias,
+                              const std::vector<std::uint8_t>& mask,
+                              std::size_t n) {
+    std::uint8_t packed = 0;
+    std::size_t bit = 0;
+    for (std::size_t row = slice_index; row < n; row += slice_count) {
+      w.f32_array(emb.row(row));
+      w.f32(bias[row]);
+    }
+    for (std::size_t row = slice_index; row < n; row += slice_count) {
+      packed |= static_cast<std::uint8_t>((mask[row] & 1) << (bit % 8));
+      if (bit % 8 == 7) {
+        w.u8(packed);
+        packed = 0;
+      }
+      ++bit;
+    }
+    if (bit % 8 != 0) w.u8(packed);
+  };
+  write_rows(user_embeddings_, user_bias_, seen_user_, config_.n_users);
+  write_rows(item_embeddings_, item_bias_, seen_item_, config_.n_items);
+  return w.take();
+}
+
+void MfModel::deserialize_sliced(serialize::BinaryReader& r) {
+  REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
+                  r.u32() == config_.embedding_dim,
+              "MF model shape mismatch");
+  const std::uint32_t count = r.u32();
+  const std::uint32_t index = r.u32();
+  REX_REQUIRE(count > 1 && index < count, "invalid MF slice spec");
+  const auto read_rows = [&](linalg::Matrix& emb, std::vector<float>& bias,
+                             std::vector<std::uint8_t>& mask, std::size_t n) {
+    // Non-slice rows must not participate in merges: clear every seen bit,
+    // then restore the slice rows' bits from the wire.
+    std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+    for (std::size_t row = index; row < n; row += count) {
+      r.f32_array(emb.row(row));
+      bias[row] = r.f32();
+    }
+    const std::size_t rows = slice_rows(n, count, index);
+    std::uint8_t packed = 0;
+    std::size_t bit = 0;
+    for (std::size_t row = index; row < n; row += count) {
+      if (bit % 8 == 0) packed = r.u8();
+      mask[row] = (packed >> (bit % 8)) & 1;
+      ++bit;
+    }
+    REX_CHECK(bit == rows, "MF slice row count mismatch");
+  };
+  read_rows(user_embeddings_, user_bias_, seen_user_, config_.n_users);
+  read_rows(item_embeddings_, item_bias_, seen_item_, config_.n_items);
   r.expect_end();
 }
 

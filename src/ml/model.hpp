@@ -6,6 +6,7 @@
 // implement this interface; the experiments swap them through a factory.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -55,6 +56,24 @@ class RecModel {
   /// Wire encoding of all parameters (the "share model" payload).
   [[nodiscard]] virtual Bytes serialize() const = 0;
 
+  /// Quantized wire encoding (RexConfig::quantize_model_shares): a smaller
+  /// blob that deserialize() must accept, trading bounded parameter error
+  /// for bytes (DESIGN.md §7). The default is the exact encoding — model
+  /// families without a compact codec keep working, just without savings.
+  [[nodiscard]] virtual Bytes serialize_quantized() const {
+    return serialize();
+  }
+
+  /// Row-sliced wire encoding for resync pulls (RexConfig::resync_slices):
+  /// only parameter rows r with r % slice_count == slice_index, so k peers
+  /// can each serve 1/k of a rejoiner's state. deserialize() must accept
+  /// the blob and leave non-slice rows unmerged (seen-mask semantics). The
+  /// default returns the full encoding (slice 0 of 1 behaviour).
+  [[nodiscard]] virtual Bytes serialize_sliced(
+      std::uint32_t /*slice_count*/, std::uint32_t /*slice_index*/) const {
+    return serialize();
+  }
+
   /// Replaces parameters from a wire encoding produced by a model of the
   /// same configuration; throws rex::Error on mismatch.
   virtual void deserialize(BytesView payload) = 0;
@@ -82,8 +101,13 @@ class RecModel {
   [[nodiscard]] virtual const char* kind() const = 0;
 
   /// Root-mean-square error over `ratings`, with predictions clamped to the
-  /// valid star range. Returns 0 for an empty set.
-  [[nodiscard]] double rmse(std::span<const data::Rating> ratings) const;
+  /// valid star range. Returns 0 for an empty set. Virtual so concrete
+  /// models can run the loop with statically-bound predictions (the default
+  /// pays one virtual predict() per rating, which is real time in the
+  /// per-epoch test step at 10k nodes); overrides must keep the exact
+  /// accumulation order — RMSE values feed the golden dumps.
+  [[nodiscard]] virtual double rmse(std::span<const data::Rating> ratings)
+      const;
 };
 
 /// Creates per-node model instances (each node seeds its own init).

@@ -7,35 +7,6 @@ namespace rex::net {
 Transport::Transport(std::size_t node_count)
     : outboxes_(node_count), inboxes_(node_count), traffic_(node_count) {}
 
-void Transport::check_node(NodeId node) const {
-  REX_REQUIRE(node < outboxes_.size(), "transport node id out of range");
-}
-
-void Transport::send(Envelope env) {
-  check_node(env.src);
-  check_node(env.dst);
-  REX_REQUIRE(env.src != env.dst, "node sending to itself");
-  outboxes_[env.src].push_back(std::move(env));
-}
-
-void Transport::record_send(const Envelope& env) {
-  const std::size_t wire = env.wire_size();
-  NodeTraffic& traffic = traffic_[env.src];
-  traffic.total.messages_sent++;
-  traffic.total.bytes_sent += wire;
-  traffic.epoch.messages_sent++;
-  traffic.epoch.bytes_sent += wire;
-}
-
-void Transport::record_delivery(const Envelope& env) {
-  const std::size_t wire = env.wire_size();
-  NodeTraffic& traffic = traffic_[env.dst];
-  traffic.total.messages_received++;
-  traffic.total.bytes_received += wire;
-  traffic.epoch.messages_received++;
-  traffic.epoch.bytes_received += wire;
-}
-
 void Transport::flush_round() {
   // Sender-major routing: each destination shard receives envelopes in
   // nondecreasing sender order, which drain_inbox() relies on to merge the
@@ -53,11 +24,17 @@ void Transport::flush_round() {
 }
 
 std::vector<Envelope> Transport::drain_inbox(NodeId node) {
+  std::vector<Envelope> out;
+  drain_inbox(node, out);
+  return out;
+}
+
+void Transport::drain_inbox(NodeId node, std::vector<Envelope>& out) {
   check_node(node);
   InboxShards& shards = inboxes_[node];
   std::size_t total = 0;
   for (const auto& shard : shards) total += shard.size();
-  std::vector<Envelope> out;
+  out.clear();
   out.reserve(total);
   // K-way merge on the routing stamp: each shard is FIFO (stamps increase),
   // so repeatedly taking the smallest front stamp reproduces the exact
@@ -74,7 +51,6 @@ std::vector<Envelope> Transport::drain_inbox(NodeId node) {
     out.push_back(std::move(shards[best].front()));
     shards[best].pop_front();
   }
-  return out;
 }
 
 std::size_t Transport::inbox_size(NodeId node) const {
@@ -98,16 +74,6 @@ void Transport::take_outbox(NodeId src, std::vector<Envelope>& out) {
     out.push_back(std::move(outbox.front()));
     outbox.pop_front();
   }
-}
-
-std::size_t Transport::outbox_size(NodeId src) const {
-  check_node(src);
-  return outboxes_[src].size();
-}
-
-const TrafficStats& Transport::stats(NodeId node) const {
-  check_node(node);
-  return traffic_[node].total;
 }
 
 std::uint64_t Transport::total_bytes_sent() const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "support/error.hpp"
 
 namespace rex::net {
 
@@ -56,8 +57,16 @@ class Transport {
 
   /// Queues an envelope from env.src. Thread-safe across distinct senders
   /// (each sender owns its outbox); a single sender must not send
-  /// concurrently with itself.
-  void send(Envelope env);
+  /// concurrently with itself. Inline (as are the other per-envelope
+  /// accessors below): the event path crosses these once or more per
+  /// delivered message, and at 10k nodes the out-of-line call was real
+  /// profile time.
+  void send(Envelope env) {
+    check_node(env.src);
+    check_node(env.dst);
+    REX_REQUIRE(env.src != env.dst, "node sending to itself");
+    outboxes_[env.src].push_back(std::move(env));
+  }
 
   // ===== Barrier path =====
 
@@ -70,6 +79,11 @@ class Transport {
   /// shards back into (sender id, send order) sequence. Moves the
   /// envelopes — payloads are not copied.
   [[nodiscard]] std::vector<Envelope> drain_inbox(NodeId node);
+
+  /// Allocation-free variant: drains into `out` (cleared first), so the
+  /// per-round barrier drain recycles one caller-owned buffer instead of
+  /// allocating a fresh vector per node per round.
+  void drain_inbox(NodeId node, std::vector<Envelope>& out);
 
   /// Messages waiting for `node` (after flush_round()).
   [[nodiscard]] std::size_t inbox_size(NodeId node) const;
@@ -89,13 +103,23 @@ class Transport {
 
   /// Envelopes currently queued in `src`'s outbox (cheap emptiness probe
   /// for the engine's control-plane flush).
-  [[nodiscard]] std::size_t outbox_size(NodeId src) const;
+  [[nodiscard]] std::size_t outbox_size(NodeId src) const {
+    check_node(src);
+    return outboxes_[src].size();
+  }
 
   /// Accounts the send side for one envelope the engine is releasing onto
   /// the wire (the event-path counterpart of flush_round's accounting).
   /// Touches only env.src's counters, so calls for distinct senders are
   /// safe to run concurrently.
-  void record_send(const Envelope& env);
+  void record_send(const Envelope& env) {
+    const std::size_t wire = env.wire_size();
+    NodeTraffic& traffic = traffic_[env.src];
+    traffic.total.messages_sent++;
+    traffic.total.bytes_sent += wire;
+    traffic.epoch.messages_sent++;
+    traffic.epoch.bytes_sent += wire;
+  }
 
   /// Shared recycling pool for payload buffers: senders acquire encode
   /// scratch here and wrap it into SharedBytes::pooled, so payload storage
@@ -105,11 +129,21 @@ class Transport {
   /// Accounts the receive side for one envelope the engine is handing to
   /// its destination host. Touches only env.dst's counters, so concurrent
   /// calls for distinct destinations are safe.
-  void record_delivery(const Envelope& env);
+  void record_delivery(const Envelope& env) {
+    const std::size_t wire = env.wire_size();
+    NodeTraffic& traffic = traffic_[env.dst];
+    traffic.total.messages_received++;
+    traffic.total.bytes_received += wire;
+    traffic.epoch.messages_received++;
+    traffic.epoch.bytes_received += wire;
+  }
 
   // ===== Accounting =====
 
-  [[nodiscard]] const TrafficStats& stats(NodeId node) const;
+  [[nodiscard]] const TrafficStats& stats(NodeId node) const {
+    check_node(node);
+    return traffic_[node].total;
+  }
 
   /// Sum of per-node sent bytes (every byte is counted once as sent and
   /// once as received).
@@ -121,7 +155,9 @@ class Transport {
   [[nodiscard]] const TrafficStats& epoch_stats(NodeId node) const;
 
  private:
-  void check_node(NodeId node) const;
+  void check_node(NodeId node) const {
+    REX_REQUIRE(node < outboxes_.size(), "transport node id out of range");
+  }
 
   using InboxShards = std::array<std::deque<Envelope>, kInboxShards>;
 

@@ -1,31 +1,8 @@
 #include "serialize/binary.hpp"
 
-#include <bit>
 #include <cstring>
 
-#include "support/error.hpp"
-
 namespace rex::serialize {
-
-void BinaryWriter::u16(std::uint16_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v));
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void BinaryWriter::u32(std::uint32_t v) {
-  const std::size_t n = out_.size();
-  out_.resize(n + 4);
-  store_le32(out_.data() + n, v);
-}
-
-void BinaryWriter::u64(std::uint64_t v) {
-  const std::size_t n = out_.size();
-  out_.resize(n + 8);
-  store_le64(out_.data() + n, v);
-}
-
-void BinaryWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
-void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
 void BinaryWriter::f32_array(std::span<const float> values) {
   static_assert(std::endian::native == std::endian::little,
@@ -34,14 +11,6 @@ void BinaryWriter::f32_array(std::span<const float> values) {
   const std::size_t n = out_.size();
   out_.resize(n + values.size() * sizeof(float));
   std::memcpy(out_.data() + n, values.data(), values.size() * sizeof(float));
-}
-
-void BinaryWriter::varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out_.push_back(static_cast<std::uint8_t>(v));
 }
 
 void BinaryWriter::bytes(BytesView b) {
@@ -54,40 +23,6 @@ void BinaryWriter::str(std::string_view s) {
   out_.insert(out_.end(), s.begin(), s.end());
 }
 
-void BinaryReader::need(std::size_t n) const {
-  REX_REQUIRE(pos_ + n <= data_.size(), "binary message truncated");
-}
-
-std::uint8_t BinaryReader::u8() {
-  need(1);
-  return data_[pos_++];
-}
-
-std::uint16_t BinaryReader::u16() {
-  need(2);
-  const std::uint16_t v = static_cast<std::uint16_t>(
-      data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
-  pos_ += 2;
-  return v;
-}
-
-std::uint32_t BinaryReader::u32() {
-  need(4);
-  const std::uint32_t v = load_le32(data_.data() + pos_);
-  pos_ += 4;
-  return v;
-}
-
-std::uint64_t BinaryReader::u64() {
-  need(8);
-  const std::uint64_t v = load_le64(data_.data() + pos_);
-  pos_ += 8;
-  return v;
-}
-
-float BinaryReader::f32() { return std::bit_cast<float>(u32()); }
-double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
-
 void BinaryReader::f32_array(std::span<float> out) {
   static_assert(std::endian::native == std::endian::little,
                 "big-endian targets need a byte-swapping f32_array");
@@ -95,19 +30,6 @@ void BinaryReader::f32_array(std::span<float> out) {
   need(out.size() * sizeof(float));
   std::memcpy(out.data(), data_.data() + pos_, out.size() * sizeof(float));
   pos_ += out.size() * sizeof(float);
-}
-
-std::uint64_t BinaryReader::varint() {
-  std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    REX_REQUIRE(shift < 64, "varint too long");
-    const std::uint8_t byte = u8();
-    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-  }
-  return v;
 }
 
 Bytes BinaryReader::bytes() {
@@ -125,13 +47,6 @@ std::string BinaryReader::str() {
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return out;
-}
-
-BytesView BinaryReader::raw(std::size_t n) {
-  need(n);
-  const BytesView view = data_.subspan(pos_, n);
-  pos_ += n;
-  return view;
 }
 
 void BinaryReader::expect_end() const {

@@ -134,10 +134,12 @@ void SimEngine::run_attestation() {
     transport_.flush_round();
     bool any_delivered = false;
     for (core::NodeId id = 0; id < n; ++id) {
-      for (const net::Envelope& env : transport_.drain_inbox(id)) {
+      transport_.drain_inbox(id, drain_scratch_);
+      for (const net::Envelope& env : drain_scratch_) {
         hosts_[id]->on_deliver(env);
         any_delivered = true;
       }
+      drain_scratch_.clear();  // release payload refs before the next drain
     }
     ++attestation_rounds_;
     if (any_delivered && attestation_rounds_ < kMaxSteps) {
@@ -146,9 +148,11 @@ void SimEngine::run_attestation() {
   }
   transport_.flush_round();  // deliver stragglers of the final step
   for (core::NodeId id = 0; id < n; ++id) {
-    for (const net::Envelope& env : transport_.drain_inbox(id)) {
+    transport_.drain_inbox(id, drain_scratch_);
+    for (const net::Envelope& env : drain_scratch_) {
       hosts_[id]->on_deliver(env);
     }
+    drain_scratch_.clear();
   }
   for (core::NodeId id = 0; id < n; ++id) {
     REX_REQUIRE(hosts_[id]->trusted().fully_attested(),
@@ -204,10 +208,15 @@ void SimEngine::run_barrier_round() {
   // Every node does one epoch of comparable cost: static block split.
   pool_.parallel_for(n, [&](std::size_t id) {
     hosts_[id]->runtime().reset_epoch_counters();
-    for (const net::Envelope& env :
-         transport_.drain_inbox(static_cast<core::NodeId>(id))) {
+    // Recycled per-worker drain buffer: the historical loop allocated (and
+    // freed) one vector per node per round, n allocations a round at 10k
+    // nodes for what is always the same few envelopes' worth of capacity.
+    static thread_local std::vector<net::Envelope> drained;
+    transport_.drain_inbox(static_cast<core::NodeId>(id), drained);
+    for (const net::Envelope& env : drained) {
       hosts_[id]->on_deliver(env);
     }
+    drained.clear();  // release payload refs; keep capacity for the next node
     if (rex_.algorithm == core::Algorithm::kRmw) {
       hosts_[id]->on_train_due();
     }
@@ -263,6 +272,7 @@ void SimEngine::collect_round_record() {
     record.max_memory_bytes = std::max(record.max_memory_bytes, memory);
     store_sum += static_cast<double>(c.store_size);
     record.duplicates_dropped += c.duplicates_dropped;
+    record.bytes_saved_compression += c.bytes_saved_compression;
   }
   if (record.min_rmse > record.max_rmse) {
     record.min_rmse = record.max_rmse;  // no nodes reported: never leak +inf
@@ -287,23 +297,62 @@ void SimEngine::collect_round_record() {
 
 // ===== Event mode =====
 
+net::Envelope* SimEngine::prepare_delivery(const Event& event) {
+  NodeStatus& status = nodes_[event.node];
+  net::Envelope& env = delivery_slots_[event.slot];
+  REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
+  REX_CHECK(env.deliver_at_s == event.time.seconds,
+            "envelope delivered off its stamped timestamp");
+  if (!status.online && event.time >= status.offline_since) {
+    ++status.deliveries_dropped;  // lost to churn
+    env.arrival = kArrivalDropped;
+    return nullptr;
+  }
+  env.arrival = kArrivalDelivered;
+  transport_.record_delivery(env);
+  return &env;
+}
+
+void SimEngine::apply_group_math(std::span<const Event* const> group) {
+  // Consecutive kDeliver events for this node collapse into one host
+  // on_deliver_batch call (a single enclave entry whose decode loop stays
+  // hot). Engine-side per-delivery work — churn drops, arrival stamping,
+  // receive accounting — still runs per event above, and any non-deliver
+  // event flushes the pending run first, so the host observes exactly the
+  // sequential dispatch order. (A dropped delivery never reaches the host,
+  // so it does not split a run.)
+  static thread_local std::vector<const net::Envelope*> run;
+  run.clear();
+  const core::NodeId node = group.front()->node;
+  const auto flush = [&] {
+    if (run.empty()) return;
+    if (run.size() == 1) {
+      hosts_[node]->on_deliver(*run.front());
+    } else {
+      hosts_[node]->on_deliver_batch(run);
+    }
+    run.clear();
+  };
+  for (const Event* event : group) {
+    if (event->kind == EventKind::kDeliver) {
+      ++nodes_[event->node].events_processed;
+      if (net::Envelope* env = prepare_delivery(*event)) run.push_back(env);
+      continue;
+    }
+    flush();
+    apply_event_math(*event);
+  }
+  flush();
+}
+
 void SimEngine::apply_event_math(const Event& event) {
   NodeStatus& status = nodes_[event.node];
   ++status.events_processed;
   switch (event.kind) {
     case EventKind::kDeliver: {
-      net::Envelope& env = delivery_slots_[event.slot];
-      REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
-      REX_CHECK(env.deliver_at_s == event.time.seconds,
-                "envelope delivered off its stamped timestamp");
-      if (!status.online && event.time >= status.offline_since) {
-        ++status.deliveries_dropped;  // lost to churn
-        env.arrival = kArrivalDropped;
-        return;
+      if (net::Envelope* env = prepare_delivery(event)) {
+        hosts_[event.node]->on_deliver(*env);
       }
-      env.arrival = kArrivalDelivered;
-      transport_.record_delivery(env);
-      hosts_[event.node]->on_deliver(env);
       return;
     }
     case EventKind::kTrain: {
@@ -401,6 +450,7 @@ void SimEngine::serial_event_hook(const Event& event) {
       bucket.mem_max = std::max(bucket.mem_max, memory);
       bucket.store_sum += static_cast<double>(pe.counters.store_size);
       bucket.duplicates += pe.counters.duplicates_dropped;
+      bucket.bytes_saved += pe.counters.bytes_saved_compression;
       bucket.duration_sum += pe.end - pe.start;
       bucket.last_end = std::max(bucket.last_end, pe.end);
       epoch_slots_.release(event.slot);
@@ -694,7 +744,7 @@ bool SimEngine::process_next_batch() {
     groups_[ref.slot].push_back(&event);
   }
   pool_.parallel_shards(groups_used_, [&](std::size_t g) {
-    for (const Event* event : groups_[g]) apply_event_math(*event);
+    apply_group_math(groups_[g]);
   });
 
   // Serial scheduling phase: event hooks in seq order, then completed
@@ -822,6 +872,7 @@ void SimEngine::finalize_async_records() {
     record.max_memory_bytes = bucket.mem_max;
     record.mean_store_size = bucket.store_sum / dn;
     record.duplicates_dropped = bucket.duplicates;
+    record.bytes_saved_compression = bucket.bytes_saved;
     record.round_time = SimTime{bucket.duration_sum.seconds / dn};
     // The time by which this epoch index was complete across all reporting
     // nodes. A slow node's late epoch e can outlast fast nodes' epoch e+1,

@@ -52,6 +52,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -307,6 +308,15 @@ class SimEngine {
   bool process_next_batch();
   /// Math side of one event (runs inside the parallel phase).
   void apply_event_math(const Event& event);
+  /// Math side of one node's whole batch group: runs of consecutive
+  /// kDeliver events collapse into a single host on_deliver_batch call
+  /// (one enclave entry per run); other events dispatch singly at their
+  /// exact sequential positions.
+  void apply_group_math(std::span<const Event* const> group);
+  /// Engine-side half of one delivery: churn-drop check, arrival stamping
+  /// and receive accounting. Returns the envelope to hand to the host, or
+  /// nullptr when the delivery was dropped (receiver offline).
+  net::Envelope* prepare_delivery(const Event& event);
   /// Post-math bookkeeping for a node that completed a protocol run at
   /// `start`: capture counters, stage times and queued shares; schedule the
   /// kShare and kTest events; for RMW, schedule the next train timer.
@@ -353,6 +363,7 @@ class SimEngine {
     double mem_max = 0.0;
     double store_sum = 0.0;
     std::uint64_t duplicates = 0;
+    std::uint64_t bytes_saved = 0;  // wire bytes avoided by compression
     SimTime duration_sum;
     SimTime last_end;
   };
@@ -419,6 +430,9 @@ class SimEngine {
   std::vector<GroupRef> group_refs_;
   std::uint64_t batch_stamp_ = 0;
   std::vector<core::NodeId> batch_nodes_;
+  /// Recycled attestation drain buffer (one per engine; the attestation
+  /// loop is single-threaded).
+  std::vector<net::Envelope> drain_scratch_;
 };
 
 }  // namespace rex::sim

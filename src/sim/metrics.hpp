@@ -40,6 +40,9 @@ struct RoundRecord {
 
   double mean_store_size = 0.0;    // raw-data items held per node
   std::uint64_t duplicates_dropped = 0;
+  /// Wire bytes the payload codecs avoided this epoch, summed over the
+  /// reporting nodes (0 when compression is off — see docs/reporting.md).
+  std::uint64_t bytes_saved_compression = 0;
 };
 
 struct ExperimentResult {

@@ -13,19 +13,20 @@ void write_csv(const ExperimentResult& result, const std::string& path) {
   REX_REQUIRE(out.good(), "cannot open csv path: " + path);
   out << "epoch,time_s,nodes_reporting,reachable_fraction,mean_rmse,"
          "min_rmse,max_rmse,bytes_in_out,merge_s,train_s,share_s,test_s,"
-         "memory_bytes,store_size\n";
+         "memory_bytes,store_size,bytes_saved_compression\n";
   for (const RoundRecord& r : result.rounds) {
     char line[512];
     std::snprintf(line, sizeof line,
                   "%llu,%.6f,%zu,%.6f,%.6f,%.6f,%.6f,%.1f,%.9f,%.9f,%.9f,"
-                  "%.9f,%.1f,%.1f\n",
+                  "%.9f,%.1f,%.1f,%llu\n",
                   static_cast<unsigned long long>(r.epoch),
                   r.cumulative_time.seconds, r.nodes_reporting,
                   r.reachable_fraction, r.mean_rmse,
                   r.min_rmse, r.max_rmse, r.mean_bytes_in_out,
                   r.mean_stages.merge.seconds, r.mean_stages.train.seconds,
                   r.mean_stages.share.seconds, r.mean_stages.test.seconds,
-                  r.mean_memory_bytes, r.mean_store_size);
+                  r.mean_memory_bytes, r.mean_store_size,
+                  static_cast<unsigned long long>(r.bytes_saved_compression));
     out << line;
   }
 }

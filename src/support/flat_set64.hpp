@@ -1,0 +1,104 @@
+// Open-addressing set of non-zero-biased 64-bit keys.
+//
+// The trusted node's raw-data duplicate filter does one lookup-or-insert
+// per received rating — at 10k nodes that is millions of hashes per
+// simulated second, and std::unordered_set's node allocations plus bucket
+// chains dominated the merge stage in profiles. This set is a single flat
+// array with linear probing and a splitmix finalizer: one cache line per
+// probe, no allocations after reserve, ~4x faster inserts. Only the three
+// operations the dedup filter needs (insert / contains / size) exist;
+// iteration order is deliberately not provided, so determinism cannot come
+// to depend on hash layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rex {
+
+class FlatSet64 {
+ public:
+  FlatSet64() = default;
+
+  /// Pre-sizes for `expected` keys (capacity rounds up to a power of two
+  /// at 50% max load, like the callers' reserve(n * 2) idiom).
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Inserts `key`; returns true when it was not present (matching the
+  /// unordered_set::insert(...).second contract the dedup filter uses).
+  bool insert(std::uint64_t key) {
+    if (slots_.empty() || size_ * 2 >= slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    // Keys are (user << 32 | item) pairs: never the empty sentinel after
+    // mixing, but guard the raw value anyway by reserving one bit pattern.
+    if (key == kEmpty) {
+      if (has_empty_key_) return false;
+      has_empty_key_ = true;
+      ++size_;
+      return true;
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = mix(key) & mask;
+    while (slots_[pos] != kEmpty) {
+      if (slots_[pos] == key) return false;
+      pos = (pos + 1) & mask;
+    }
+    slots_[pos] = key;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    if (key == kEmpty) return has_empty_key_;
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t pos = mix(key) & mask;
+    while (slots_[pos] != kEmpty) {
+      if (slots_[pos] == key) return true;
+      pos = (pos + 1) & mask;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void clear() {
+    slots_.assign(slots_.size(), kEmpty);
+    has_empty_key_ = false;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t z) {
+    // splitmix64 finalizer: full avalanche, so sequential item ids spread.
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(new_cap, kEmpty);
+    const std::size_t mask = new_cap - 1;
+    for (std::uint64_t key : old) {
+      if (key == kEmpty) continue;
+      std::size_t pos = mix(key) & mask;
+      while (slots_[pos] != kEmpty) pos = (pos + 1) & mask;
+      slots_[pos] = key;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  bool has_empty_key_ = false;
+};
+
+}  // namespace rex

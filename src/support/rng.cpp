@@ -1,8 +1,6 @@
 #include "support/rng.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <numbers>
 
 #include "support/error.hpp"
 
@@ -21,57 +19,6 @@ Rng Rng::derive(std::uint64_t index) const {
   // with adjacent indices are statistically independent.
   SplitMix64 sm(seed_ ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
   return Rng(sm.next());
-}
-
-std::uint64_t Rng::uniform(std::uint64_t bound) {
-  REX_REQUIRE(bound > 0, "uniform() bound must be positive");
-  // Lemire-style rejection to avoid modulo bias.
-  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
-  for (;;) {
-    const std::uint64_t r = engine_();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  REX_REQUIRE(lo <= hi, "uniform_int() requires lo <= hi");
-  const std::uint64_t span =
-      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
-  if (span == 0) return static_cast<std::int64_t>(engine_());  // full range
-  return lo + static_cast<std::int64_t>(uniform(span));
-}
-
-double Rng::uniform01() {
-  // 53 top bits -> double in [0,1).
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform_real(double lo, double hi) {
-  return lo + (hi - lo) * uniform01();
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform01() < p;
-}
-
-double Rng::normal() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_normal_;
-  }
-  // Box–Muller on (0,1] to avoid log(0).
-  double u1 = 0.0;
-  do {
-    u1 = uniform01();
-  } while (u1 <= 0.0);
-  const double u2 = uniform01();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  spare_normal_ = radius * std::sin(angle);
-  has_spare_ = true;
-  return radius * std::cos(angle);
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {

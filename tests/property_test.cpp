@@ -485,9 +485,8 @@ TEST(CompressCodecEdge, EmptyBatch) {
 
 TEST(CompressCodecEdge, RejectsOffGridRating) {
   serialize::BinaryWriter w;
-  EXPECT_THROW(data::encode_ratings_compressed(
-                   w, {data::Rating{1, 2, 3.14f}}),
-               Error);
+  const std::vector<data::Rating> off_grid{data::Rating{1, 2, 3.14f}};
+  EXPECT_THROW(data::encode_ratings_compressed(w, off_grid), Error);
 }
 
 TEST(CompressCodecEdge, SizeHelperMatchesEncoder) {

@@ -12,11 +12,11 @@ namespace {
 
 constexpr std::size_t kNodes = 10000;
 
-Scenario scale_scenario(EngineMode mode) {
+Scenario scale_scenario(EngineMode mode, std::size_t nodes = kNodes) {
   Scenario s;
-  s.dataset.n_users = kNodes;
+  s.dataset.n_users = nodes;
   s.dataset.n_items = 60;
-  s.dataset.n_ratings = kNodes * 6;
+  s.dataset.n_ratings = nodes * 6;
   s.dataset.min_ratings_per_user = 4;
   s.dataset.seed = 21 ^ 0xDA7A;
   s.nodes = 0;  // one node per user
@@ -59,25 +59,49 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
   }
 }
 
-void run_discipline(EngineMode mode) {
-  Scenario serial = scale_scenario(mode);
-  serial.threads = 1;
-  const ExperimentResult reference = run_scenario(serial);
+void run_discipline(Scenario base, std::size_t nodes = kNodes) {
+  base.threads = 1;
+  const ExperimentResult reference = run_scenario(base);
   ASSERT_FALSE(reference.rounds.empty());
-  EXPECT_EQ(reference.rounds.front().nodes_reporting, kNodes);
+  EXPECT_EQ(reference.rounds.front().nodes_reporting, nodes);
   for (const std::size_t threads : {2ul, 8ul}) {
-    Scenario parallel = scale_scenario(mode);
+    Scenario parallel = base;
     parallel.threads = threads;
     expect_identical(reference, run_scenario(parallel), threads);
   }
 }
 
 TEST(ScaleDeterminism, Barrier10kIdenticalAcross1_2_8Threads) {
-  run_discipline(EngineMode::kBarrier);
+  run_discipline(scale_scenario(EngineMode::kBarrier));
 }
 
 TEST(ScaleDeterminism, EventDriven10kIdenticalAcross1_2_8Threads) {
-  run_discipline(EngineMode::kEventDriven);
+  run_discipline(scale_scenario(EngineMode::kEventDriven));
+}
+
+// Compressed wire shares must not perturb thread determinism: the codec's
+// scratch buffers and the BufferPool recycling of encoded payloads are the
+// new thread-adjacent state this PR introduces. Smaller node count — the
+// coverage target is codec-vs-pool interaction, not queue capacity.
+constexpr std::size_t kCompressedNodes = 2000;
+
+TEST(ScaleDeterminism, CompressedRawBarrierIdenticalAcross1_2_8Threads) {
+  Scenario s = scale_scenario(EngineMode::kBarrier, kCompressedNodes);
+  s.rex.compress_raw_data = true;
+  run_discipline(s, kCompressedNodes);
+}
+
+TEST(ScaleDeterminism, CompressedRawEventDrivenIdenticalAcross1_2_8Threads) {
+  Scenario s = scale_scenario(EngineMode::kEventDriven, kCompressedNodes);
+  s.rex.compress_raw_data = true;
+  run_discipline(s, kCompressedNodes);
+}
+
+TEST(ScaleDeterminism, QuantizedModelEventDrivenIdenticalAcross1_2_8Threads) {
+  Scenario s = scale_scenario(EngineMode::kEventDriven, kCompressedNodes);
+  s.rex.sharing = core::SharingMode::kModel;
+  s.rex.quantize_model_shares = true;
+  run_discipline(s, kCompressedNodes);
 }
 
 }  // namespace
