@@ -1,0 +1,118 @@
+// Adversarial scenario suite cell (DESIGN.md §8).
+//
+// Runs every committed fault schedule (sim::adversarial_suite) through the
+// full invariant harness and reports, per fault class: the delivery ledger,
+// the enclave-side rejection evidence, and the wall-clock slowdown the
+// faults inflicted relative to the same cell's fault-free probe run. Any
+// invariant violation aborts the process with a non-zero exit, which is the
+// CI gate.
+//
+// Flags:
+//   --smoke       skip the 2/8-thread bit-identity sweep (CI: fast gate).
+//                 Epoch counts are never reduced: each schedule's windows
+//                 and convergence gate are sized for its committed horizon.
+//   --threads N   simulator worker threads (default 1: deterministic ledger)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/adversarial.hpp"
+#include "sim/scenario.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace rex;
+
+const char* tag_name(std::size_t tag) {
+  switch (tag) {
+    case sim::FaultTag::kLost: return "lost";
+    case sim::FaultTag::kTampered: return "tampered";
+    case sim::FaultTag::kDuplicated: return "duplicated";
+    case sim::FaultTag::kReplayed: return "replayed";
+    case sim::FaultTag::kForgedQuote: return "forged-quote";
+    default: return "none";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads N]\n"
+                   "runs the committed adversarial fault schedules and "
+                   "exits non-zero on any invariant violation\n",
+                   argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  std::printf("adversarial suite (%zu schedules, %s, %zu thread%s)\n",
+              sim::adversarial_suite().size(), smoke ? "smoke" : "full",
+              threads, threads == 1 ? "" : "s");
+
+  std::size_t survived = 0;
+  for (const sim::AdversarialCase& kase : sim::adversarial_suite()) {
+    try {
+      const sim::AdversarialOutcome out =
+          sim::run_adversarial_case(kase, threads);
+      ++survived;
+      const double probe_s = out.probe.total_time().seconds;
+      const double faulted_s = out.result.total_time().seconds;
+      std::printf(
+          "  %-15s ok: rmse %.4f -> %.4f, time %s -> %s (%+.1f%%), "
+          "%llu invariant checks, %llu reattest heals\n",
+          kase.name, out.probe.final_rmse(), out.result.final_rmse(),
+          bench::format_time(probe_s).c_str(),
+          bench::format_time(faulted_s).c_str(),
+          probe_s > 0.0 ? (faulted_s / probe_s - 1.0) * 100.0 : 0.0,
+          static_cast<unsigned long long>(out.invariant_checks),
+          static_cast<unsigned long long>(out.reattest_heals));
+      for (std::size_t tag = 1; tag < sim::FaultTag::kCount; ++tag) {
+        const sim::FaultLedger& led = out.ledgers[tag];
+        if (led.injected == 0) continue;
+        std::printf(
+            "      %-12s injected %6llu  delivered %6llu  dropped %6llu  "
+            "elided %6llu\n",
+            tag_name(tag), static_cast<unsigned long long>(led.injected),
+            static_cast<unsigned long long>(led.delivered),
+            static_cast<unsigned long long>(led.dropped),
+            static_cast<unsigned long long>(led.elided));
+      }
+      if (!smoke) {
+        // Full mode: the faulted run must be bit-identical across worker
+        // thread counts (the harness runs on the serial phase only).
+        for (const std::size_t sweep : {2ul, 8ul}) {
+          const sim::AdversarialOutcome other =
+              sim::run_adversarial_case(kase, sweep);
+          if (other.result.final_rmse() != out.result.final_rmse() ||
+              other.result.total_time().seconds !=
+                  out.result.total_time().seconds) {
+            std::fprintf(stderr,
+                         "  %-15s THREAD DIVERGENCE at %zu threads\n",
+                         kase.name, sweep);
+            return 1;
+          }
+        }
+        std::printf("      thread sweep 1/2/8 bit-identical\n");
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "  %-15s INVARIANT VIOLATION: %s\n", kase.name,
+                   e.what());
+      return 1;
+    }
+  }
+  std::printf("%zu/%zu schedules survived with zero violations\n", survived,
+              sim::adversarial_suite().size());
+  return 0;
+}

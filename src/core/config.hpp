@@ -62,6 +62,13 @@ struct RexConfig {
   /// its next epoch the moment the previous one finishes. Ignored by the
   /// synchronous barrier engine, where one round == one period.
   double rmw_period_s = 0.0;
+  /// Byzantine-fault tolerance (DESIGN.md §8): when true, a tampered,
+  /// replayed or duplicated secure share is *counted and discarded* (the
+  /// per-node tampered_rejected / replays_rejected counters) instead of
+  /// aborting the run — what a deployed node must do, since a malicious
+  /// peer can always put garbage on the wire. Off by default: in benign
+  /// runs those conditions are engine bugs and must stay fatal.
+  bool tolerate_byzantine = false;
   enclave::SecurityMode security = enclave::SecurityMode::kNative;
   enclave::EpcConfig epc = {};
 };

@@ -57,11 +57,12 @@ void TrustedNode::on_attestation_message(NodeId src, BytesView blob) {
   runtime_.record_ecall(blob.size());
   const serialize::Json message =
       serialize::Json::parse(rex::to_string(blob));
+  const std::string type = message.at("type").as_string();
   // A challenge against a settled session is a rejoining peer: its enclave
   // restarted, so the old session key must not be trusted for new traffic.
   // Tear the session down (keeping the old key for in-flight envelopes) and
   // run the handshake fresh (DESIGN.md §6).
-  if (message.at("type").as_string() == "att_challenge") {
+  if (type == "att_challenge") {
     const auto it = sessions_.find(src);
     if (it != sessions_.end() &&
         (it->second.attested() ||
@@ -69,14 +70,23 @@ void TrustedNode::on_attestation_message(NodeId src, BytesView blob) {
       replace_session(src);
     }
   }
-  const std::optional<serialize::Json> reply = session(src).handle(message);
+  enclave::AttestationSession& sess = session(src);
+  const std::optional<serialize::Json> reply = sess.handle(message);
+  // Every legitimately handled quote ends in kAttested; anything else — a
+  // forged/corrupted quote failing verification, or a quote arriving at an
+  // unexpected state — failed closed. Counted unconditionally (fail-closed
+  // is the benign policy too; DESIGN.md §8 "Byzantine accounting").
+  if (type == "att_quote" &&
+      sess.state() != enclave::AttestationState::kAttested) {
+    ++quote_forgeries_rejected_;
+  }
   if (reply.has_value()) {
     Bytes out = to_bytes(reply->dump());
     runtime_.record_ocall(out.size());
     send_(src, net::MessageKind::kAttestation, std::move(out));
   }
   // Rejoin: the moment a pair re-attests, pull the peer's current state.
-  if (rejoining_ && session(src).attested()) {
+  if (rejoining_ && sess.attested()) {
     maybe_send_resync_request(src);
   }
 }
@@ -211,6 +221,7 @@ void TrustedNode::send_resync(NodeId peer, const ProtocolPayload& payload) {
     return;
   }
   runtime_.record_ocall(plaintext.size());
+  ++plaintext_shares_sent_;  // native wire is plaintext (invariant audit)
   const SharedBytes wire =
       payload_pool_ != nullptr
           ? SharedBytes::pooled(*payload_pool_, std::move(plaintext))
@@ -316,6 +327,26 @@ void TrustedNode::reset_neighbor_state() {
   filled_slots_ = 0;
 }
 
+enclave::AttestationState TrustedNode::session_state(NodeId peer) const {
+  const auto it = sessions_.find(peer);
+  return it == sessions_.end() ? enclave::AttestationState::kIdle
+                               : it->second.state();
+}
+
+void TrustedNode::heal_attestation(NodeId peer) {
+  // Same teardown-and-reinitiate a rejoin runs per peer (begin_rejoin),
+  // minus the resync pull: this node's model never left, only the pair's
+  // handshake is stuck. The old attested key (if any) stays available as
+  // the stale-key fallback for traffic in flight across the heal.
+  (void)neighbor_index(peer);  // only neighbors hold sessions
+  runtime_.record_ecall(0);
+  replace_session(peer);
+  const serialize::Json challenge = session(peer).initiate();
+  Bytes blob = to_bytes(challenge.dump());
+  runtime_.record_ocall(blob.size());
+  send_(peer, net::MessageKind::kAttestation, std::move(blob));
+}
+
 bool TrustedNode::attested_with(NodeId peer) const {
   const auto it = sessions_.find(peer);
   return it != sessions_.end() && it->second.attested();
@@ -410,6 +441,14 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
         input_pool_.push_back(std::move(input));
         return;
       }
+      if (config_.tolerate_byzantine) {
+        // Byzantine tolerance (DESIGN.md §8): with no key rotation to blame,
+        // an unopenable payload *is* tampering — count and discard instead
+        // of aborting, as a deployed node facing a malicious peer must.
+        ++tampered_rejected_;
+        input_pool_.push_back(std::move(input));
+        return;
+      }
       REX_REQUIRE(opened.has_value(),
                   "authenticated decryption failed: tampered payload");
     }
@@ -418,8 +457,21 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
     // garbage cannot move the watermark).
     if (from_stale) {
       StaleKey& stale = stale_keys_.find(src)->second;
+      if (config_.tolerate_byzantine && seq < stale.recv_sequence) {
+        ++replays_rejected_;  // count-and-discard (DESIGN.md §8)
+        input_pool_.push_back(std::move(input));
+        return;
+      }
       REX_REQUIRE(seq >= stale.recv_sequence, "replayed secure payload");
       stale.recv_sequence = seq + 1;
+    } else if (config_.tolerate_byzantine) {
+      // accept_recv_sequence advances the watermark on success, so it is
+      // called exactly once on either branch structure.
+      if (!sess.accept_recv_sequence(seq)) {
+        ++replays_rejected_;  // count-and-discard (DESIGN.md §8)
+        input_pool_.push_back(std::move(input));
+        return;
+      }
     } else {
       REX_REQUIRE(sess.accept_recv_sequence(seq), "replayed secure payload");
     }
@@ -447,6 +499,16 @@ void TrustedNode::ecall_input(NodeId src, BytesView blob) {
   // (D-PSGD) that neighbor's stream. Checked before the depth cap so a
   // replay is reported as what it is.
   NeighborSlot& pending = slots_[slot];
+  if (config_.tolerate_byzantine &&
+      pending.watermark >= static_cast<std::int64_t>(input.payload.epoch)) {
+    // The epoch-level replay check: in native runs (no AEAD sequence
+    // stream) this is the only guard a duplicated envelope hits.
+    ++replays_rejected_;  // count-and-discard (DESIGN.md §8)
+    input.payload.ratings.clear();
+    input.payload.model_blob.clear();
+    input_pool_.push_back(std::move(input));
+    return;
+  }
   REX_REQUIRE(
       pending.watermark < static_cast<std::int64_t>(input.payload.epoch),
       "duplicate round message from the same neighbor");
@@ -785,6 +847,7 @@ void TrustedNode::share_with(std::span<const NodeId> dsts, Bytes plaintext) {
     counters_.bytes_serialized += plaintext_size;
     runtime_.record_ocall(wire.size());
     ++counters_.messages_sent;
+    ++plaintext_shares_sent_;  // native wire is plaintext (invariant audit)
     send_(dst, net::MessageKind::kProtocol, wire);
   }
 }

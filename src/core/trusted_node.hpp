@@ -117,6 +117,43 @@ class TrustedNode {
     return inputs_discarded_rekey_;
   }
 
+  // ===== Byzantine rejection counters (DESIGN.md §8) =====
+  // Populated only with RexConfig::tolerate_byzantine (otherwise the
+  // conditions below abort the run as engine bugs). The ScenarioHarness
+  // reconciles these against its fault ledger at finalize.
+
+  /// Secure shares rejected because AEAD authentication failed — a
+  /// ciphertext or tag bit was flipped in flight.
+  [[nodiscard]] std::uint64_t tampered_rejected() const {
+    return tampered_rejected_;
+  }
+  /// Secure shares rejected by the sequence/watermark replay checks — a
+  /// duplicated or replayed envelope re-presenting a consumed position.
+  [[nodiscard]] std::uint64_t replays_rejected() const {
+    return replays_rejected_;
+  }
+  /// Attestation handshakes failed closed on an unverifiable quote
+  /// (counted unconditionally — fail-closed is already the benign policy).
+  [[nodiscard]] std::uint64_t quote_forgeries_rejected() const {
+    return quote_forgeries_rejected_;
+  }
+  /// Plaintext (unsealed) share/resync payloads this node emitted — stays
+  /// zero for the run's lifetime in secure mode ("no unattested plaintext
+  /// leaves a node"; the InvariantChecker sweeps it network-wide).
+  [[nodiscard]] std::uint64_t plaintext_shares_sent() const {
+    return plaintext_shares_sent_;
+  }
+
+  /// Attestation state of the session with `peer` (kIdle when no session
+  /// exists) — read by the engine's re-attestation sweep.
+  [[nodiscard]] enclave::AttestationState session_state(NodeId peer) const;
+
+  /// Re-attestation sweep entry point (DESIGN.md §8 "Re-attestation
+  /// sweep"): tears down the session with `peer` (retaining the stale-key
+  /// fallback) and initiates a fresh handshake, exactly as a rejoin would —
+  /// but without the resync pull, since this node's model never left.
+  void heal_attestation(NodeId peer);
+
   // ===== Protocol phase (Algorithm 2) =====
 
   /// ecall_init: copies the local dataset into protected memory, initializes
@@ -268,6 +305,11 @@ class TrustedNode {
   /// rotated: sealed under a key more than one rotation old, or under a
   /// half-open handshake's key this side has not derived yet.
   std::uint64_t inputs_discarded_rekey_ = 0;
+  // Byzantine rejection counters (DESIGN.md §8; see the accessors).
+  std::uint64_t tampered_rejected_ = 0;
+  std::uint64_t replays_rejected_ = 0;
+  std::uint64_t quote_forgeries_rejected_ = 0;
+  std::uint64_t plaintext_shares_sent_ = 0;
 
   std::unique_ptr<ml::RecModel> model_;
   std::vector<std::unique_ptr<ml::RecModel>> alien_pool_;  // merge scratch

@@ -46,6 +46,12 @@ struct Envelope {
   /// from the active sim::LinkModel.
   double sent_at_s = 0.0;
   double deliver_at_s = 0.0;
+  /// Fault-injection tag stamped by sim::ScenarioHarness (DESIGN.md §8).
+  /// Bookkeeping only — not on the wire and excluded from wire_size(): a
+  /// real adversary's tampered bytes are the same length, and a lost packet
+  /// still occupied the links it crossed before vanishing. Zero (kNone) on
+  /// every envelope when no harness is installed.
+  std::uint8_t fault = 0;
 
   /// Bytes on the wire: payload plus the fixed header.
   [[nodiscard]] std::size_t wire_size() const {

@@ -1,0 +1,194 @@
+#include "sim/adversarial.hpp"
+
+#include "support/error.hpp"
+
+namespace rex::sim {
+
+namespace {
+
+/// Shared shape of every suite case: the churn-test cell (16 users, one
+/// node each, small-world) on the event-driven engine with RMW — the
+/// discipline that keeps training through arbitrary message loss (a D-PSGD
+/// pipeline would stall waiting for a lost neighbor share).
+Scenario suite_base() {
+  Scenario s;
+  s.dataset.n_users = 16;
+  s.dataset.n_items = 150;
+  s.dataset.n_ratings = 900;
+  s.dataset.seed = 3;
+  s.nodes = 0;  // one node per user
+  s.topology = TopologyKind::kSmallWorld;
+  s.model = ModelKind::kMf;
+  s.mf_sgd_steps_per_epoch = 40;
+  s.rex.sharing = core::SharingMode::kRawData;
+  s.rex.algorithm = core::Algorithm::kRmw;
+  s.rex.data_points_per_epoch = 20;
+  s.engine_mode = EngineMode::kEventDriven;
+  s.epochs = 8;
+  s.seed = 9;
+  return s;
+}
+
+Scenario secure_base() {
+  Scenario s = suite_base();
+  s.rex.security = enclave::SecurityMode::kSgxSimulated;
+  return s;
+}
+
+Scenario wan_base() {
+  Scenario s = suite_base();
+  s.costs.wan = make_wan_profile("geo");
+  return s;
+}
+
+Scenario churny_secure_base() {
+  Scenario s = secure_base();
+  s.dynamics.churn_probability = 0.2;
+  s.dynamics.churn_downtime_s = 0.001;
+  s.dynamics.reattest_interval_s = 0.005;
+  return s;
+}
+
+/// Quote forgery wants *rare* churn: each rejoin is a burst of attestation
+/// traffic for the forger, and the long quiet stretch after it is where the
+/// broken pairs sit exposed — only the periodic re-attestation sweep can
+/// heal them before the node's next (distant) rejoin. The short watchdog
+/// unsticks rejoiners whose every handshake was forged.
+Scenario forgery_base() {
+  Scenario s = secure_base();
+  s.dynamics.churn_probability = 0.08;
+  s.dynamics.churn_downtime_s = 0.001;
+  s.dynamics.rejoin_timeout_s = 0.005;
+  s.dynamics.reattest_interval_s = 0.005;
+  return s;
+}
+
+FaultSchedule schedule_for(std::uint64_t seed, double t_end_s) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  schedule.check_interval_s = t_end_s / 10.0;
+  return schedule;
+}
+
+FaultSchedule build_partition(double t) {
+  FaultSchedule s = schedule_for(11, t);
+  s.faults.push_back(
+      FaultSpec::partition(SimTime{0.10 * t}, SimTime{0.45 * t}));
+  return s;
+}
+
+FaultSchedule build_link_flap(double t) {
+  FaultSchedule s = schedule_for(12, t);
+  s.faults.push_back(FaultSpec::link_flap(SimTime{0.10 * t}, SimTime{0.50 * t},
+                                          /*period_s=*/0.05 * t,
+                                          /*duty=*/0.5,
+                                          /*edge_fraction=*/0.5,
+                                          /*asymmetric=*/true));
+  return s;
+}
+
+FaultSchedule build_region_outage(double t) {
+  FaultSchedule s = schedule_for(13, t);
+  s.faults.push_back(
+      FaultSpec::region_outage(SimTime{0.10 * t}, SimTime{0.40 * t},
+                               /*region=*/1));
+  return s;
+}
+
+FaultSchedule build_loss(double t) {
+  FaultSchedule s = schedule_for(14, t);
+  s.faults.push_back(
+      FaultSpec::loss(SimTime{0.05 * t}, SimTime{0.60 * t}, 0.15));
+  return s;
+}
+
+FaultSchedule build_duplicate(double t) {
+  FaultSchedule s = schedule_for(15, t);
+  s.faults.push_back(FaultSpec::duplicate(SimTime{0.10 * t}, SimTime{0.60 * t},
+                                          0.30, /*node_fraction=*/0.5));
+  return s;
+}
+
+FaultSchedule build_tamper(double t) {
+  FaultSchedule s = schedule_for(16, t);
+  s.faults.push_back(FaultSpec::tamper(SimTime{0.10 * t}, SimTime{0.60 * t},
+                                       0.25, /*node_fraction=*/0.5));
+  return s;
+}
+
+FaultSchedule build_replay(double t) {
+  FaultSchedule s = schedule_for(17, t);
+  s.faults.push_back(FaultSpec::replay(SimTime{0.10 * t}, SimTime{0.60 * t},
+                                       0.50, /*node_fraction=*/0.5));
+  return s;
+}
+
+FaultSchedule build_quote_forgery(double t) {
+  FaultSchedule s = schedule_for(18, t);
+  s.faults.push_back(FaultSpec::quote_forgery(SimTime{0.02 * t},
+                                              SimTime{0.50 * t}, 0.80));
+  return s;
+}
+
+FaultSchedule build_kitchen_sink(double t) {
+  FaultSchedule s = schedule_for(19, t);
+  s.faults.push_back(
+      FaultSpec::loss(SimTime{0.10 * t}, SimTime{0.50 * t}, 0.10));
+  s.faults.push_back(FaultSpec::duplicate(SimTime{0.10 * t}, SimTime{0.50 * t},
+                                          0.25, /*node_fraction=*/0.5));
+  s.faults.push_back(FaultSpec::tamper(SimTime{0.15 * t}, SimTime{0.55 * t},
+                                       0.20, /*node_fraction=*/0.5));
+  s.faults.push_back(
+      FaultSpec::partition(SimTime{0.20 * t}, SimTime{0.40 * t}));
+  return s;
+}
+
+}  // namespace
+
+const std::vector<AdversarialCase>& adversarial_suite() {
+  static const std::vector<AdversarialCase> kSuite = {
+      {"partition-heal", suite_base, build_partition},
+      {"link-flap", wan_base, build_link_flap},
+      {"region-outage", wan_base, build_region_outage},
+      {"loss", suite_base, build_loss},
+      {"duplicate", secure_base, build_duplicate},
+      {"tamper", secure_base, build_tamper},
+      {"replay", secure_base, build_replay},
+      {"quote-forgery", forgery_base, build_quote_forgery},
+      {"kitchen-sink", churny_secure_base, build_kitchen_sink},
+  };
+  return kSuite;
+}
+
+AdversarialOutcome run_adversarial_case(const AdversarialCase& kase,
+                                        std::size_t threads,
+                                        std::size_t epochs_override) {
+  Scenario scenario = kase.make_scenario();
+  if (epochs_override > 0) scenario.epochs = epochs_override;
+  scenario.threads = threads;
+
+  AdversarialOutcome out;
+  // Probe: the same cell with no harness sizes the fault windows.
+  Scenario probe = scenario;
+  probe.faults = FaultSchedule{};
+  out.probe = run_scenario(probe);
+  const double t_end = out.probe.total_time().seconds;
+  REX_REQUIRE(t_end > 0.0, "adversarial probe run produced no rounds");
+
+  scenario.faults = kase.build(t_end);
+  ScenarioInputs inputs;
+  Simulator sim = make_scenario_simulator(scenario, inputs);
+  sim.run(scenario.epochs);  // finalize() runs the end-of-run invariants
+
+  out.result = sim.result();
+  const ScenarioHarness* harness = sim.harness();
+  REX_CHECK(harness != nullptr, "adversarial case ran without a harness");
+  for (std::size_t tag = 0; tag < FaultTag::kCount; ++tag) {
+    out.ledgers[tag] = harness->ledger(static_cast<std::uint8_t>(tag));
+  }
+  out.invariant_checks = harness->invariant_checks();
+  out.reattest_heals = sim.engine().reattest_heals();
+  return out;
+}
+
+}  // namespace rex::sim

@@ -1,0 +1,50 @@
+// The committed adversarial scenario suite (DESIGN.md §8): one named case
+// per fault class (partition+heal, flapping links, regional outage,
+// transport loss, duplication, tampering, replay, quote forgery, plus a
+// kitchen-sink composition), each pairing a small event-driven Scenario
+// with a FaultSchedule builder. Fault windows are sized as fractions of a
+// fault-free probe run's total simulated time, so every window heals before
+// the run ends and the post-heal convergence invariant is checkable.
+//
+// Lives outside sim/scenario.hpp on purpose: the harness layer must not
+// depend on experiment assembly (scenario.hpp is included by the engine).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace rex::sim {
+
+/// One committed adversarial case. `build` receives the probe run's total
+/// simulated time in seconds and returns the fault schedule to inject.
+struct AdversarialCase {
+  const char* name;
+  Scenario (*make_scenario)();
+  FaultSchedule (*build)(double t_end_s);
+};
+
+/// The suite, in a fixed order (tests and bench_adversarial iterate it).
+[[nodiscard]] const std::vector<AdversarialCase>& adversarial_suite();
+
+/// Everything one adversarial run yields: the probe (fault-free) result,
+/// the harnessed result, and the harness accounting snapshot.
+struct AdversarialOutcome {
+  ExperimentResult probe;
+  ExperimentResult result;
+  std::array<FaultLedger, FaultTag::kCount> ledgers{};
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t reattest_heals = 0;
+};
+
+/// Probe run (faults off) to size the windows, then the fault run with the
+/// harness installed and finalized. Throws rex::Error on any invariant
+/// violation. `epochs_override` > 0 shrinks the run (bench --smoke).
+[[nodiscard]] AdversarialOutcome run_adversarial_case(
+    const AdversarialCase& kase, std::size_t threads = 1,
+    std::size_t epochs_override = 0);
+
+}  // namespace rex::sim

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/scenario.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -43,6 +44,7 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
     pair_deliver_horizon_.resize(2 * links_.edge_count());
   }
   group_refs_.assign(n, GroupRef{});
+  deferred_held_.resize(n);
   jitter_rngs_.reserve(n);
   Rng master(config_.seed ^ 0x0E7E27D21FE27ULL);  // independent jitter seed
   for (std::size_t id = 0; id < n; ++id) {
@@ -192,6 +194,13 @@ void SimEngine::initialize(std::vector<data::NodeShard> shards) {
     for (core::NodeId id = 0; id < n; ++id) {
       post_epoch(id, SimTime{0.0});
     }
+    // Re-attestation sweep timer (DESIGN.md §8): one chain, anchored on
+    // node 0; the sweep itself visits every online pair.
+    if (config_.dynamics.reattest_interval_s > 0.0 &&
+        rex_.security != enclave::SecurityMode::kNative) {
+      schedule(SimTime{config_.dynamics.reattest_interval_s}, 0,
+               EventKind::kReattestSweep);
+    }
   }
   initialized_ = true;
 }
@@ -303,6 +312,13 @@ net::Envelope* SimEngine::prepare_delivery(const Event& event) {
   REX_CHECK(env.dst == event.node, "deliver event/envelope mismatch");
   REX_CHECK(env.deliver_at_s == event.time.seconds,
             "envelope delivered off its stamped timestamp");
+  if (env.fault == FaultTag::kLost) {
+    // Harness-injected loss (DESIGN.md §8): the envelope crossed the wire
+    // (paying the sender's uplink and the edge) but vanishes here. Not a
+    // churn drop — the fault ledger, not deliveries_dropped, accounts it.
+    env.arrival = kArrivalDropped;
+    return nullptr;
+  }
   if (!status.online && event.time >= status.offline_since) {
     ++status.deliveries_dropped;  // lost to churn
     env.arrival = kArrivalDropped;
@@ -377,6 +393,7 @@ void SimEngine::apply_event_math(const Event& event) {
     case EventKind::kChurnUp:
     case EventKind::kRejoinDeadline:
     case EventKind::kAttestStep:
+    case EventKind::kReattestSweep:
       return;
   }
 }
@@ -385,6 +402,9 @@ void SimEngine::serial_event_hook(const Event& event) {
   switch (event.kind) {
     case EventKind::kDeliver: {
       net::Envelope& env = delivery_slots_[event.slot];
+      if (harness_ != nullptr && env.fault != FaultTag::kNone) {
+        harness_->on_fault_settled(env, env.arrival == kArrivalDelivered);
+      }
       if (env.kind == net::MessageKind::kResync) {
         // Resync conservation (DESIGN.md §6): every released byte lands
         // here — delivered or dropped to the receiver churning again.
@@ -460,6 +480,15 @@ void SimEngine::serial_event_hook(const Event& event) {
       NodeStatus& status = nodes_[event.node];
       status.online = true;
       ++online_count_;
+      // Shares deferred across the outage hit the wire now, through the
+      // sender's live uplink (DESIGN.md §6 "Offline shares") — the release
+      // a real deployment would trigger off the rejoin challenge.
+      if (!deferred_held_[event.node].empty()) {
+        for (net::Envelope& held : deferred_held_[event.node]) {
+          release_envelope(std::move(held), event.time);
+        }
+        deferred_held_[event.node].clear();
+      }
       ++status.rejoins;
       // Rejoin protocol (DESIGN.md §6): re-attest with the online
       // neighbors and pull their current model state before training
@@ -491,6 +520,16 @@ void SimEngine::serial_event_hook(const Event& event) {
       complete_rejoin(event.node, event.time);
       return;
     }
+    case EventKind::kReattestSweep: {
+      run_reattest_sweep(event.time);
+      // Reschedule only while other work is queued: a sweep chain must not
+      // keep an otherwise-finished run alive.
+      if (!queue_.empty()) {
+        schedule(event.time + SimTime{config_.dynamics.reattest_interval_s},
+                 0, EventKind::kReattestSweep);
+      }
+      return;
+    }
     case EventKind::kTrain:
     case EventKind::kAttestStep:
       return;  // math-phase / pre-protocol events: nothing to do here
@@ -498,26 +537,36 @@ void SimEngine::serial_event_hook(const Event& event) {
 }
 
 void SimEngine::release_envelope(net::Envelope env, SimTime release) {
+  if (harness_ != nullptr && env.fault == FaultTag::kNone) {
+    // Adversarial filter (DESIGN.md §8): may tag the envelope lost, tamper
+    // its ciphertext, stash it for replay, or queue injected copies —
+    // drained below so they pay the same uplink as organic traffic.
+    // Already-faulted envelopes (injected copies, re-released deferred
+    // holds) pass through untouched.
+    harness_->on_release(env, release);
+  }
   NodeStatus& dst = nodes_[env.dst];
   const bool control = env.kind != net::MessageKind::kProtocol;
-  SimTime wire_release = release;
-  bool deferred = false;
   if (!dst.online && release >= dst.offline_since) {
     // The sender knows the peer is down (its outage has begun). Control
     // traffic to it is pointless — the peer re-initiates when it returns.
     if (control || config_.dynamics.offline_shares == OfflinePolicy::kDrop) {
+      if (harness_ != nullptr && env.fault != FaultTag::kNone) {
+        harness_->on_fault_elided(env);
+      }
       ++dst.deliveries_elided;  // never transmitted: no uplink accounting
       return;                   // payload reference drops with env
     }
-    // Defer: hold at the sender, transmit when the peer's outage ends (in
-    // a real deployment the rejoin challenge triggers this release).
-    deferred = true;
+    // Defer: hold at the sender, re-released through this function when the
+    // peer's outage ends (kChurnUp) — so deferred bytes pay the sender's
+    // then-current live uplink, not a phantom queue (DESIGN.md §6).
     ++dst.deliveries_deferred;
-    wire_release = std::max(wire_release, dst.back_online_at);
+    deferred_held_[env.dst].push_back(std::move(env));
+    return;
   }
   transport_.record_send(env);  // the envelope actually hits the wire
   NodeStatus& sender = nodes_[env.src];
-  SimTime sent = wire_release;
+  SimTime sent = release;
   SimTime deliver_at;
   if (links_.heterogeneous()) {
     const std::size_t e = links_.edge_id(env.src, env.dst);
@@ -526,17 +575,9 @@ void SimEngine::release_envelope(net::Envelope env, SimTime release) {
     // Queueing on: transmissions serialize on the sender's uplink (sum of
     // tx times). Off: each envelope still pays its own transmission, but
     // they overlap (max) — the ablation contrast. Control traffic always
-    // queues (it shares the wire with the data plane). Deferred envelopes
-    // use the destination's ingress queue instead: their transmission
-    // happens after the outage (charging the live uplink horizon would
-    // distort later releases), and serializing them preserves the
-    // per-pair FIFO the receive watermark requires.
-    if (deferred) {
-      sent = dst.deferred_rx.transmit(wire_release, tx);
-    } else {
-      const bool queue = links_.sender_queueing() || control;
-      sent = queue ? sender.tx.transmit(wire_release, tx) : wire_release + tx;
-    }
+    // queues (it shares the wire with the data plane).
+    const bool queue = links_.sender_queueing() || control;
+    sent = queue ? sender.tx.transmit(release, tx) : release + tx;
     deliver_at = sent + SimTime{links_.edge_latency_s(e)};
     // FIFO channel per directed pair: a later release never arrives before
     // an earlier one (size-dependent tx times and deferred releases could
@@ -551,7 +592,7 @@ void SimEngine::release_envelope(net::Envelope env, SimTime release) {
     edge.bytes += env.wire_size();
     edge.delay_sum_s += (deliver_at - release).seconds;
   } else {
-    deliver_at = wire_release + links_.latency(env.src, env.dst);
+    deliver_at = release + links_.latency(env.src, env.dst);
   }
   if (env.kind == net::MessageKind::kResync) {
     resync_totals_.tx_bytes += env.wire_size();
@@ -562,6 +603,17 @@ void SimEngine::release_envelope(net::Envelope env, SimTime release) {
   const std::uint32_t slot = delivery_slots_.acquire();
   delivery_slots_[slot] = std::move(env);
   schedule(deliver_at, delivery_slots_[slot].dst, EventKind::kDeliver, slot);
+  if (harness_ != nullptr) {
+    // Injected duplicate/replay copies ride the wire like organic traffic:
+    // released here (recursively — a copy of a faulted envelope is itself
+    // faulted and passes the filter untouched) they queue behind this
+    // transmission on the same uplink and edge FIFO, so delivery of a
+    // duplicate always follows its original.
+    net::Envelope extra;
+    while (harness_->pop_injected(extra)) {
+      release_envelope(std::move(extra), release);
+    }
+  }
 }
 
 void SimEngine::flush_control(core::NodeId id, SimTime now) {
@@ -595,6 +647,58 @@ void SimEngine::complete_rejoin(core::NodeId id, SimTime now) {
       (rex_.algorithm == core::Algorithm::kRmw ||
        hosts_[id]->trusted().round_ready())) {
     schedule_train(now, id);
+  }
+}
+
+void SimEngine::run_reattest_sweep(SimTime now) {
+  // Scan online neighbor pairs for attestation sessions a mid-run handshake
+  // left broken — a failed verify (kFailed), or an asymmetric pair where one
+  // side attested and the other did not (its quote was lost or corrupted in
+  // flight) — and restart the handshake from the stuck side (DESIGN.md §8
+  // "Re-attestation sweep"). A pair where *both* sides are mid-handshake may
+  // simply be in flight: it gets one full sweep interval of grace
+  // (pending_heal_) before being declared stuck. Nodes that are offline or
+  // running the rejoin protocol are skipped — rejoin owns its own handshake.
+  ++reattest_sweeps_;
+  const std::size_t n = hosts_.size();
+  for (core::NodeId u = 0; u < n; ++u) {
+    if (!nodes_[u].online || nodes_[u].rejoining) continue;
+    for (const core::NodeId v : topology_.neighbors(u)) {
+      if (v <= u) continue;
+      if (!nodes_[v].online || nodes_[v].rejoining) continue;
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      const enclave::AttestationState su =
+          hosts_[u]->trusted().session_state(v);
+      const enclave::AttestationState sv =
+          hosts_[v]->trusted().session_state(u);
+      const bool u_ok = su == enclave::AttestationState::kAttested;
+      const bool v_ok = sv == enclave::AttestationState::kAttested;
+      if (u_ok && v_ok) {
+        pending_heal_.erase(key);
+        continue;
+      }
+      const bool failed = su == enclave::AttestationState::kFailed ||
+                          sv == enclave::AttestationState::kFailed;
+      if (!failed && !u_ok && !v_ok) {
+        const auto [it, fresh] = pending_heal_.emplace(key, reattest_sweeps_);
+        if (fresh || it->second == reattest_sweeps_) continue;  // grace
+      }
+      pending_heal_.erase(key);
+      // Restart from the side that cannot make progress: a failed session,
+      // or the unattested half of an asymmetric pair.
+      core::NodeId initiator = u;
+      if (su == enclave::AttestationState::kFailed) {
+        initiator = u;
+      } else if (sv == enclave::AttestationState::kFailed) {
+        initiator = v;
+      } else if (u_ok && !v_ok) {
+        initiator = v;
+      }
+      const core::NodeId target = initiator == u ? v : u;
+      hosts_[initiator]->trusted().heal_attestation(target);
+      ++reattest_heals_;
+      flush_control(initiator, now);  // the challenge leaves immediately
+    }
   }
 }
 
@@ -723,6 +827,7 @@ bool SimEngine::process_next_batch() {
       flush_control(event.node, t);  // rejoin traffic raised this event
     }
     check_rejoin(event.node, t);
+    if (harness_ != nullptr) harness_->on_batch(clock_);
     return true;
   }
 
@@ -765,6 +870,7 @@ bool SimEngine::process_next_batch() {
     }
     check_rejoin(id, t);
   }
+  if (harness_ != nullptr) harness_->on_batch(clock_);
   return true;
 }
 

@@ -51,6 +51,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -70,6 +71,8 @@
 #include "support/thread_pool.hpp"
 
 namespace rex::sim {
+
+class ScenarioHarness;
 
 enum class EngineMode {
   kBarrier,      // synchronized rounds (paper §III-D); the default
@@ -116,6 +119,12 @@ struct NodeDynamics {
   /// this long for its re-attestation + resync exchange (a contacted
   /// neighbor may churn away mid-handshake) before training resumes anyway.
   double rejoin_timeout_s = 0.5;
+  /// Re-attestation sweep cadence in simulated seconds (secure event-driven
+  /// runs only; 0 = off). Each sweep scans online neighbor pairs for
+  /// sessions left unattested by a mid-run handshake (DESIGN.md §8
+  /// "Re-attestation sweep") and restarts the handshake so broken pairs
+  /// heal before the next rejoin forces them.
+  double reattest_interval_s = 0.0;
 
   [[nodiscard]] bool heterogeneous() const {
     return speed_lognormal_sigma > 0.0 || straggler_probability > 0.0;
@@ -182,13 +191,9 @@ class SimEngine {
     /// Sender-side wire-occupancy queue (WAN profiles only): outgoing
     /// envelopes serialize through this instead of propagating in parallel.
     TxQueue tx;
-    /// Ingress queue for shares deferred across this node's outages (WAN
-    /// profiles only): held envelopes transmit back-to-back starting at
-    /// back_online_at, in release order — which preserves the per-pair
-    /// FIFO the receive watermark requires (a size-dependent parallel
-    /// release could deliver epoch e+1 before e and trip the replay
-    /// check).
-    TxQueue deferred_rx;
+    /// Healed partition/regional-outage windows whose cut traffic touched
+    /// this node (stamped by sim::ScenarioHarness, DESIGN.md §8).
+    std::uint64_t partitions_survived = 0;
   };
 
   /// Per-undirected-edge delivery counters, kept only when the LinkModel is
@@ -282,6 +287,32 @@ class SimEngine {
     return edge_traffic_;
   }
 
+  /// Install (or clear, with nullptr) an adversarial fault harness
+  /// (DESIGN.md §8). The harness is borrowed and must outlive the run; its
+  /// hooks run only on the serial phase, so installing one does not perturb
+  /// thread determinism. Event-driven mode only — the barrier path never
+  /// releases per-edge envelopes for the harness to intercept.
+  void set_harness(ScenarioHarness* harness) { harness_ = harness; }
+  /// Read-only host access for the harness/invariant layer (per-node
+  /// rejection counters live on the trusted side).
+  [[nodiscard]] const core::UntrustedHost& host(core::NodeId id) const {
+    return *hosts_.at(id);
+  }
+  /// Harness callback: a healed partition/outage window cut traffic that
+  /// touched this node.
+  void note_partition_survived(core::NodeId id) {
+    ++nodes_.at(id).partitions_survived;
+  }
+  /// Handshakes restarted by the re-attestation sweep (kReattestSweep).
+  [[nodiscard]] std::uint64_t reattest_heals() const {
+    return reattest_heals_;
+  }
+  /// Active dynamics knobs (the harness gates its strict-accounting
+  /// invariants on churning(): churn drops legitimately absorb replays).
+  [[nodiscard]] const NodeDynamics& dynamics() const {
+    return config_.dynamics;
+  }
+
  private:
   // ===== shared =====
   void require_initialized() const;
@@ -339,6 +370,10 @@ class SimEngine {
   /// restart its train timer.
   void check_rejoin(core::NodeId id, SimTime now);
   void complete_rejoin(core::NodeId id, SimTime now);
+  /// kReattestSweep handler: scan online neighbor pairs for sessions a
+  /// mid-run handshake left unattested and restart the handshake
+  /// (DESIGN.md §8 "Re-attestation sweep").
+  void run_reattest_sweep(SimTime now);
 
   /// One completed node epoch awaiting its kTest timestamp.
   struct PendingEpoch {
@@ -388,6 +423,22 @@ class SimEngine {
 
   std::vector<NodeStatus> nodes_;
   std::vector<EdgeTraffic> edge_traffic_;  // heterogeneous LinkModel only
+  /// Borrowed fault harness (nullptr in benign runs — the default; every
+  /// harness hook site is gated on this so the benign fast path is
+  /// unchanged).
+  ScenarioHarness* harness_ = nullptr;
+  /// Shares held at the sender across the destination's outage
+  /// (offline_shares = kDefer), re-released through release_envelope at the
+  /// peer's kChurnUp so deferred bytes pay the sender's then-current live
+  /// uplink (DESIGN.md §6 "Offline shares").
+  std::vector<std::vector<net::Envelope>> deferred_held_;
+  /// Re-attestation sweep grace ledger: pairs ((u<<32)|v, u<v) seen mid-
+  /// handshake, keyed to the sweep that first saw them — healed only if
+  /// still unattested one full sweep later (an in-flight handshake is not a
+  /// broken one).
+  std::map<std::uint64_t, std::uint64_t> pending_heal_;
+  std::uint64_t reattest_sweeps_ = 0;
+  std::uint64_t reattest_heals_ = 0;
   /// Per-directed-pair delivery horizon (heterogeneous LinkModel only,
   /// indexed 2*edge_id + direction): each link is a FIFO channel, so an
   /// envelope's delivery is clamped to never precede an earlier release on

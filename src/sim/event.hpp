@@ -29,6 +29,13 @@ enum class EventKind : std::uint8_t {
   /// waiting forever. Event::slot carries the rejoin generation, so a
   /// deadline left over from a previous outage is ignored.
   kRejoinDeadline,
+  /// Periodic re-attestation sweep (DESIGN.md §8 "Re-attestation sweep"):
+  /// scans online neighbor pairs for sessions a mid-run handshake left
+  /// unattested (a failed verify, or one side churning away between
+  /// challenge and quote) and restarts the handshake, so broken pairs heal
+  /// before the next rejoin forces them. Scheduled on node 0 only; the
+  /// sweep itself visits every pair.
+  kReattestSweep,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind kind) {
@@ -40,6 +47,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kAttestStep: return "attest";
     case EventKind::kChurnUp: return "churn-up";
     case EventKind::kRejoinDeadline: return "rejoin-deadline";
+    case EventKind::kReattestSweep: return "reattest-sweep";
   }
   return "?";
 }

@@ -81,6 +81,9 @@ struct Scenario {
   EngineMode engine_mode = EngineMode::kBarrier;
   /// Per-node speed/straggler/churn knobs (inert at defaults).
   NodeDynamics dynamics;
+  /// Adversarial fault schedule (DESIGN.md §8; inert when empty). Needs
+  /// engine_mode == kEventDriven.
+  FaultSchedule faults;
 };
 
 /// Prepared inputs of a scenario (exposed for tests and special benches).

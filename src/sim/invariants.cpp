@@ -1,0 +1,74 @@
+#include "sim/invariants.hpp"
+
+#include <string>
+
+#include "sim/engine.hpp"
+#include "support/error.hpp"
+
+namespace rex::sim {
+
+InvariantChecker::InvariantChecker(const SimEngine& engine, bool secure)
+    : engine_(engine), secure_(secure) {
+  last_epochs_.assign(engine_.node_count(), 0);
+}
+
+void InvariantChecker::on_wire(const net::Envelope& env) {
+  if (!secure_) return;
+  // Attestation handshakes are cleartext JSON by design (like TLS hellos);
+  // everything else on a secure wire must be a framed AEAD blob:
+  // [seq le64 || ciphertext >= tag(16) + 1]. A plaintext share escaping the
+  // enclave boundary would be the payload bytes alone and trips this at the
+  // emitting node.
+  if (env.kind == net::MessageKind::kAttestation) return;
+  ++checks_;
+  REX_REQUIRE(env.payload.size() >= 8 + 16 + 1,
+              "unsealed payload on a secure wire: node " +
+                  std::to_string(env.src) + " -> " + std::to_string(env.dst) +
+                  ", " + std::to_string(env.payload.size()) + " bytes");
+}
+
+void InvariantChecker::sweep(SimTime now) {
+  const SimEngine::ResyncTotals& totals = engine_.resync_totals();
+  ++checks_;
+  REX_REQUIRE(
+      totals.tx_bytes ==
+          totals.rx_bytes + totals.in_flight_bytes + totals.dropped_bytes,
+      "resync byte conservation violated at t=" + std::to_string(now.seconds) +
+          "s: tx=" + std::to_string(totals.tx_bytes) +
+          " rx=" + std::to_string(totals.rx_bytes) +
+          " in-flight=" + std::to_string(totals.in_flight_bytes) +
+          " dropped=" + std::to_string(totals.dropped_bytes));
+
+  const std::size_t n = engine_.node_count();
+  std::uint64_t node_rx = 0;
+  std::uint64_t plaintext = 0;
+  for (net::NodeId id = 0; id < n; ++id) {
+    node_rx += engine_.node_status(id).resync_bytes;
+    const std::uint64_t epochs =
+        engine_.host(id).trusted().epochs_completed();
+    ++checks_;
+    REX_REQUIRE(epochs >= last_epochs_[id],
+                "epoch counter of node " + std::to_string(id) +
+                    " went backwards at t=" + std::to_string(now.seconds) +
+                    "s: " + std::to_string(epochs) + " after " +
+                    std::to_string(last_epochs_[id]));
+    last_epochs_[id] = epochs;
+    if (secure_) {
+      plaintext += engine_.host(id).trusted().plaintext_shares_sent();
+    }
+  }
+  ++checks_;
+  REX_REQUIRE(node_rx == totals.rx_bytes,
+              "per-node resync_bytes disagree with engine rx total at t=" +
+                  std::to_string(now.seconds) +
+                  "s: nodes=" + std::to_string(node_rx) +
+                  " engine=" + std::to_string(totals.rx_bytes));
+  if (secure_) {
+    ++checks_;
+    REX_REQUIRE(plaintext == 0,
+                "secure run leaked plaintext shares: " +
+                    std::to_string(plaintext) + " emitted network-wide");
+  }
+}
+
+}  // namespace rex::sim

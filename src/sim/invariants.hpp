@@ -1,0 +1,52 @@
+// Machine-checked run invariants for adversarial scenarios (DESIGN.md §8).
+//
+// The checker is evaluated *online*: `sweep` runs on the engine's serial
+// phase at a configurable simulated-time cadence while faults are still in
+// flight, so a violation aborts at the batch that introduced it (naming the
+// offending node), not in a post-hoc report after the damage has compounded.
+// `on_wire` additionally audits every envelope the harness sees leave a
+// node. Violations throw rex::Error via REX_REQUIRE, mirroring the engine's
+// runaway guard: the message names the node/edge/counter at fault.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "support/sim_clock.hpp"
+
+namespace rex::sim {
+
+class SimEngine;
+
+/// Online invariant evaluation over a running SimEngine. Checks, per sweep:
+///  - resync-byte conservation: ResyncTotals.tx == rx + in-flight + dropped,
+///    and the per-node resync_bytes counters sum exactly to rx;
+///  - per-node epoch counters are monotone non-decreasing;
+///  - in secure mode, no node has ever emitted a plaintext share
+///    (TrustedNode::plaintext_shares_sent stays zero network-wide).
+/// Per wire release (`on_wire`), secure protocol/resync payloads must be at
+/// least one framed AEAD block — a plaintext share would be shorter than
+/// seq + tag and trips the check at the emitting node.
+class InvariantChecker {
+ public:
+  InvariantChecker(const SimEngine& engine, bool secure);
+
+  /// Audit one envelope at release time (called from the harness filter).
+  void on_wire(const net::Envelope& env);
+
+  /// Run the full cross-node invariant battery at simulated time `now`.
+  void sweep(SimTime now);
+
+  /// Total individual invariant evaluations performed (wire + sweep).
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  const SimEngine& engine_;
+  bool secure_ = false;
+  std::uint64_t checks_ = 0;
+  /// Last observed epochs_done per node, for the monotonicity check.
+  std::vector<std::uint64_t> last_epochs_;
+};
+
+}  // namespace rex::sim

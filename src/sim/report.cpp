@@ -37,7 +37,8 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
   out << "node_id,epochs_done,epochs_folded,events_processed,"
          "deliveries_dropped,slowdown,online,rejoins,rejoin_timeouts,"
          "resync_bytes,mean_rejoin_latency_s,deliveries_elided,"
-         "deliveries_deferred\n";
+         "deliveries_deferred,tampered_rejected,replays_rejected,"
+         "quote_forgeries_rejected,partitions_survived\n";
   for (core::NodeId id = 0; id < engine.node_count(); ++id) {
     const SimEngine::NodeStatus& status = engine.node_status(id);
     const double mean_rejoin_latency =
@@ -45,21 +46,27 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
             ? status.rejoin_latency_sum_s /
                   static_cast<double>(status.rejoins_completed)
             : 0.0;
-    char line[384];
-    std::snprintf(line, sizeof line,
-                  "%u,%llu,%llu,%llu,%llu,%.6f,%d,%llu,%llu,%llu,%.9f,%llu,"
-                  "%llu\n",
-                  id, static_cast<unsigned long long>(status.epochs_done),
-                  static_cast<unsigned long long>(status.epochs_folded),
-                  static_cast<unsigned long long>(status.events_processed),
-                  static_cast<unsigned long long>(status.deliveries_dropped),
-                  status.slowdown, status.online ? 1 : 0,
-                  static_cast<unsigned long long>(status.rejoins),
-                  static_cast<unsigned long long>(status.rejoin_timeouts),
-                  static_cast<unsigned long long>(status.resync_bytes),
-                  mean_rejoin_latency,
-                  static_cast<unsigned long long>(status.deliveries_elided),
-                  static_cast<unsigned long long>(status.deliveries_deferred));
+    const core::TrustedNode& trusted = engine.host(id).trusted();
+    char line[448];
+    std::snprintf(
+        line, sizeof line,
+        "%u,%llu,%llu,%llu,%llu,%.6f,%d,%llu,%llu,%llu,%.9f,%llu,"
+        "%llu,%llu,%llu,%llu,%llu\n",
+        id, static_cast<unsigned long long>(status.epochs_done),
+        static_cast<unsigned long long>(status.epochs_folded),
+        static_cast<unsigned long long>(status.events_processed),
+        static_cast<unsigned long long>(status.deliveries_dropped),
+        status.slowdown, status.online ? 1 : 0,
+        static_cast<unsigned long long>(status.rejoins),
+        static_cast<unsigned long long>(status.rejoin_timeouts),
+        static_cast<unsigned long long>(status.resync_bytes),
+        mean_rejoin_latency,
+        static_cast<unsigned long long>(status.deliveries_elided),
+        static_cast<unsigned long long>(status.deliveries_deferred),
+        static_cast<unsigned long long>(trusted.tampered_rejected()),
+        static_cast<unsigned long long>(trusted.replays_rejected()),
+        static_cast<unsigned long long>(trusted.quote_forgeries_rejected()),
+        static_cast<unsigned long long>(status.partitions_survived));
     out << line;
   }
 }

@@ -36,6 +36,15 @@ Simulator::Simulator(Setup setup)
     verifier_->register_platform(*quoting_enclaves_.back());
   }
 
+  // Byzantine fault kinds need the enclaves to count-and-discard hostile
+  // envelopes rather than abort the run (core/config.hpp) — decided before
+  // the hosts snapshot rex_.
+  if (setup.faults.has(FaultKind::kTamper) ||
+      setup.faults.has(FaultKind::kReplay) ||
+      setup.faults.has(FaultKind::kDuplicate)) {
+    rex_.tolerate_byzantine = true;
+  }
+
   // All REX nodes run the same enclave image (§III-A): one shared identity.
   const enclave::EnclaveIdentity identity{
       enclave::measure_enclave_image("rex-enclave-v1")};
@@ -58,6 +67,13 @@ Simulator::Simulator(Setup setup)
                                         *transport_, cost_model_,
                                         *link_model_, *pool_, result_,
                                         engine_config);
+
+  if (setup.faults.enabled()) {
+    harness_ = std::make_unique<ScenarioHarness>(
+        *engine_, std::move(setup.faults),
+        rex_.security != enclave::SecurityMode::kNative, result_);
+    engine_->set_harness(harness_.get());
+  }
 }
 
 void Simulator::run_attestation() { engine_->run_attestation(); }
@@ -75,6 +91,9 @@ void Simulator::run(std::size_t epochs) {
   run_attestation();
   initialize_nodes();
   run_epochs(epochs);
+  // End-of-run invariant sweep + ledger reconciliation (DESIGN.md §8):
+  // throws rex::Error naming the violated invariant, never returns bad data.
+  if (harness_ != nullptr) harness_->finalize();
 }
 
 }  // namespace rex::sim

@@ -23,6 +23,7 @@
 #include "sim/engine.hpp"
 #include "sim/link_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rex::sim {
@@ -44,6 +45,11 @@ class Simulator {
     EngineMode engine = EngineMode::kBarrier;
     /// Heterogeneity/failure knobs (inert at defaults).
     NodeDynamics dynamics;
+    /// Adversarial fault schedule (DESIGN.md §8). Empty = harness off: the
+    /// engine runs the exact pre-harness code paths. Byzantine fault kinds
+    /// flip RexConfig::tolerate_byzantine so the enclaves count-and-discard
+    /// instead of aborting the whole run on the first hostile envelope.
+    FaultSchedule faults;
   };
 
   explicit Simulator(Setup setup);
@@ -79,6 +85,10 @@ class Simulator {
   [[nodiscard]] const SimEngine& engine() const { return *engine_; }
   /// The per-edge link model (homogeneous unless Setup::costs.wan.enabled).
   [[nodiscard]] const LinkModel& link_model() const { return *link_model_; }
+  /// The adversarial harness, or nullptr when Setup::faults was empty.
+  [[nodiscard]] const ScenarioHarness* harness() const {
+    return harness_.get();
+  }
 
   /// Attestation delivery steps needed (0 for native runs).
   [[nodiscard]] std::size_t attestation_rounds() const {
@@ -102,6 +112,9 @@ class Simulator {
 
   ExperimentResult result_;
   std::unique_ptr<SimEngine> engine_;  // after everything it borrows
+  /// Installed into the engine when Setup::faults is non-empty; finalize()
+  /// runs its end-of-run invariants at the end of run().
+  std::unique_ptr<ScenarioHarness> harness_;
 };
 
 }  // namespace rex::sim

@@ -92,11 +92,12 @@ TEST(ChurnRejoin, DeferPolicyIdenticalAcross1_2_8Threads) {
 }
 
 TEST(ChurnRejoin, DeferOverWanLinksIdenticalAndPreservesPairFifo) {
-  // Heterogeneous links + defer: held shares of different sizes released
-  // at the rejoin must not overtake each other within a (src, dst) pair —
+  // Heterogeneous links + defer: shares held across the outage re-release
+  // through the sender's then-current live TxQueue uplink at the peer's
+  // kChurnUp, and must not overtake each other within a (src, dst) pair —
   // the receive watermark throws on out-of-order epochs, so this run
-  // completing at all pins the ingress-queue serialization, and the
-  // thread sweep pins its determinism.
+  // completing at all pins the pair-FIFO delivery horizon, and the thread
+  // sweep pins its determinism.
   Scenario s = churn_scenario(OfflinePolicy::kDefer);
   s.costs.wan = make_wan_profile("geo");
   s.epochs = 4;
@@ -107,6 +108,19 @@ TEST(ChurnRejoin, SecureModeIdenticalAcross1_2_8Threads) {
   Scenario s = churn_scenario(OfflinePolicy::kDrop);
   s.rex.security = enclave::SecurityMode::kSgxSimulated;
   s.epochs = 6;
+  run_thread_determinism(s);
+}
+
+TEST(ChurnRejoin, LossFaultsPlusChurnIdenticalAcross1_2_8Threads) {
+  // Churn and an adversarial loss window composed (DESIGN.md §8): churn
+  // drops and harness drops account through different counters, and both
+  // randomness streams run on the serial phase — the combination must stay
+  // bit-identical across worker-thread counts.
+  Scenario s = churn_scenario(OfflinePolicy::kDefer);
+  s.epochs = 6;
+  s.faults.seed = 77;
+  s.faults.faults.push_back(
+      FaultSpec::loss(SimTime{0.002}, SimTime{0.05}, 0.2));
   run_thread_determinism(s);
 }
 
@@ -317,6 +331,24 @@ TEST(ChurnOffGolden, EventRmwBitIdenticalToPrePrDump) {
   s.dynamics.straggler_lognormal_sigma = 0.8;
   const ExperimentResult result = run_scenario(s);
   expect_matches_golden(result, "churn_off_event_rmw.csv");
+}
+
+TEST(ChurnOffGolden, ExplicitEmptyFaultScheduleKeepsGoldenIdentity) {
+  // A default-constructed FaultSchedule means "harness off": no harness is
+  // installed at all and both disciplines take the exact pre-harness code
+  // paths — the committed pre-PR dumps must stay byte-identical.
+  Scenario barrier = base_scenario();
+  barrier.faults = FaultSchedule{};
+  expect_matches_golden(run_scenario(barrier), "churn_off_barrier_dpsgd.csv");
+
+  Scenario event = base_scenario();
+  event.rex.algorithm = core::Algorithm::kRmw;
+  event.engine_mode = EngineMode::kEventDriven;
+  event.dynamics.speed_lognormal_sigma = 0.5;
+  event.dynamics.straggler_probability = 0.2;
+  event.dynamics.straggler_lognormal_sigma = 0.8;
+  event.faults = FaultSchedule{};
+  expect_matches_golden(run_scenario(event), "churn_off_event_rmw.csv");
 }
 
 TEST(ChurnOffGolden, ReachableFractionIsOneWithoutChurn) {

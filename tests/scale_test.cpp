@@ -104,5 +104,30 @@ TEST(ScaleDeterminism, QuantizedModelEventDrivenIdenticalAcross1_2_8Threads) {
   run_discipline(s, kCompressedNodes);
 }
 
+// Adversarial harness at scale (DESIGN.md §8): loss + duplication over 2000
+// event-driven RMW nodes (RMW keeps training through loss; a D-PSGD
+// pipeline would stall waiting for lost shares). The harness hooks run on
+// the serial phase only, so the schedule-seeded Rng and the periodic
+// invariant sweeps must not leak any thread-count dependence into the
+// metrics.
+TEST(ScaleDeterminism, AdversarialEventDrivenIdenticalAcross1_2_8Threads) {
+  Scenario s = scale_scenario(EngineMode::kEventDriven, kCompressedNodes);
+  s.rex.algorithm = core::Algorithm::kRmw;
+  Scenario probe = s;
+  probe.threads = 1;
+  const double t_end = run_scenario(probe).total_time().seconds;
+  ASSERT_GT(t_end, 0.0);
+  s.faults.seed = 23;
+  s.faults.check_interval_s = t_end / 5.0;
+  // A 2-epoch scale cell is a determinism probe, not a convergence cell —
+  // its RMSE trajectory is not required to improve at this horizon.
+  s.faults.require_convergence = false;
+  s.faults.faults.push_back(
+      FaultSpec::loss(SimTime{0.1 * t_end}, SimTime{0.5 * t_end}, 0.10));
+  s.faults.faults.push_back(FaultSpec::duplicate(
+      SimTime{0.1 * t_end}, SimTime{0.5 * t_end}, 0.20, /*node_fraction=*/0.25));
+  run_discipline(s, kCompressedNodes);
+}
+
 }  // namespace
 }  // namespace rex::sim
