@@ -222,59 +222,19 @@ int emit_scale_json(const rex::bench::Options& options,
                  options.baseline_path.c_str(), baseline_nodes, nodes);
     return 0;
   }
-  double baseline = 0.0;
-  if (!bench::read_bench_json_number(options.baseline_path,
-                                     "scheduler_events_per_sec", &baseline)) {
-    std::fprintf(stderr, "baseline %s missing scheduler_events_per_sec\n",
-                 options.baseline_path.c_str());
-    return 2;
-  }
-  bool pass = true;
-  const double floor = baseline * 0.75;
-  std::printf("\nregression gate: scheduler %.0f events/sec vs baseline %.0f "
-              "(floor %.0f): %s\n",
-              scheduler.events_per_sec, baseline, floor,
-              scheduler.events_per_sec >= floor ? "PASS" : "FAIL");
-  pass = pass && scheduler.events_per_sec >= floor;
-
-  // Learning-cell throughput floor: same 25% tolerance as the scheduler
-  // cell (wall-clock noise on shared runners), gated only when the baseline
-  // carries the cell so pre-extension baselines keep working.
-  double learning_baseline = 0.0;
-  if (bench::read_bench_json_number(options.baseline_path,
-                                    "learning_events_per_sec",
-                                    &learning_baseline)) {
-    const double learning_floor = learning_baseline * 0.75;
-    std::printf("regression gate: learning  %.0f events/sec vs baseline %.0f "
-                "(floor %.0f): %s\n",
-                learning.events_per_sec, learning_baseline, learning_floor,
-                learning.events_per_sec >= learning_floor ? "PASS" : "FAIL");
-    pass = pass && learning.events_per_sec >= learning_floor;
-  } else {
-    std::fprintf(stderr,
-                 "baseline %s predates learning_events_per_sec; skipping\n",
-                 options.baseline_path.c_str());
-  }
-
-  // Wire-width ceiling: bytes per share is deterministic (no wall-clock
-  // noise), so a tight 10% ceiling catches header/codec bloat outright.
-  double bytes_baseline = 0.0;
-  if (bench::read_bench_json_number(options.baseline_path,
-                                    "learning_bytes_per_share",
-                                    &bytes_baseline) &&
-      bytes_baseline > 0.0) {
-    const double ceiling = bytes_baseline * 1.10;
-    std::printf("regression gate: learning  %.1f bytes/share vs baseline "
-                "%.1f (ceiling %.1f): %s\n",
-                learning.bytes_per_share, bytes_baseline, ceiling,
-                learning.bytes_per_share <= ceiling ? "PASS" : "FAIL");
-    pass = pass && learning.bytes_per_share <= ceiling;
-  } else {
-    std::fprintf(stderr,
-                 "baseline %s predates learning_bytes_per_share; skipping\n",
-                 options.baseline_path.c_str());
-  }
-  return pass ? 0 : 3;
+  std::printf("\n");
+  bench::BaselineGate gate(options.baseline_path);
+  // Throughput floors tolerate 25% (wall-clock noise on shared runners);
+  // bytes-per-share is deterministic, so a tight 10% ceiling catches
+  // header/codec bloat outright. Cells absent from older baselines skip
+  // with a note so pre-extension baselines keep working.
+  gate.require_floor("scheduler_events_per_sec", scheduler.events_per_sec,
+                     0.75);
+  gate.require_floor("learning_events_per_sec", learning.events_per_sec,
+                     0.75);
+  gate.require_ceiling("learning_bytes_per_share", learning.bytes_per_share,
+                       1.10);
+  return gate.exit_code();
 }
 
 // ===== --wan: heterogeneous-link showcase =====

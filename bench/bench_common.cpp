@@ -32,6 +32,8 @@ namespace {
       "  --baseline F    compare BENCH_*.json metrics against F (CI gate)\n"
       "  --wan PROFILE   per-edge WAN links: lan | wan | geo\n"
       "  --churn         churn/rejoin showcase (event engine, rejoin protocol)\n"
+      "  --query-load R  per-node open-loop query rate in simulated Hz\n"
+      "  --smoke         reduced CI smoke scale (seconds, not minutes)\n"
       "  --help          this text\n",
       bench_name.c_str(), description.c_str());
   std::exit(exit_code);
@@ -73,6 +75,10 @@ Options parse_options(int argc, char** argv, const std::string& bench_name,
       options.wan_profile = next_value();
     } else if (arg == "--churn") {
       options.churn = true;
+    } else if (arg == "--query-load") {
+      options.query_load = std::strtod(next_value(), nullptr);
+    } else if (arg == "--smoke") {
+      options.smoke = true;
     } else if (arg == "--help" || arg == "-h") {
       usage_and_exit(bench_name, description, 0);
     } else {
@@ -298,6 +304,45 @@ bool read_bench_json_number(const std::string& path, const std::string& key,
   } catch (const Error&) {
     return false;
   }
+}
+
+BaselineGate::BaselineGate(std::string baseline_path)
+    : baseline_path_(std::move(baseline_path)) {}
+
+bool BaselineGate::check(const std::string& key, double measured,
+                         double factor, bool is_floor) {
+  double baseline = 0.0;
+  if (!read_bench_json_number(baseline_path_, key, &baseline)) {
+    std::printf("  baseline gate: no '%s' in %s — skipping that cell\n",
+                key.c_str(), baseline_path_.c_str());
+    return true;
+  }
+  const double bound = baseline * factor;
+  const bool pass = is_floor ? measured >= bound : measured <= bound;
+  const double ratio = baseline != 0.0 ? measured / baseline : 0.0;
+  if (pass) {
+    std::printf("  baseline gate: %-28s PASS  %.6g vs baseline %.6g "
+                "(ratio %.3f, %s %.2fx)\n",
+                key.c_str(), measured, baseline, ratio,
+                is_floor ? "floor" : "ceiling", factor);
+  } else {
+    ++failures_;
+    std::printf("  baseline gate: %-28s FAIL  %.6g vs baseline %.6g "
+                "(ratio %.3f, %s %.2fx)\n",
+                key.c_str(), measured, baseline, ratio,
+                is_floor ? "floor" : "ceiling", factor);
+  }
+  return pass;
+}
+
+bool BaselineGate::require_floor(const std::string& key, double measured,
+                                 double floor_factor) {
+  return check(key, measured, floor_factor, /*is_floor=*/true);
+}
+
+bool BaselineGate::require_ceiling(const std::string& key, double measured,
+                                   double ceiling_factor) {
+  return check(key, measured, ceiling_factor, /*is_floor=*/false);
 }
 
 std::size_t peak_rss_bytes() {

@@ -40,6 +40,14 @@ struct Options {
   /// the rejoin protocol exercised, and a 1/2/8-thread bit-identity
   /// self-check (consumed by bench_async_stragglers).
   bool churn = false;
+  /// Per-node open-loop query rate in simulated Hz (--query-load); 0 keeps
+  /// serving off. Consumed by the benches that exercise the serving path
+  /// (DESIGN.md §9).
+  double query_load = 0.0;
+  /// CI smoke mode (--smoke): reduced scale tuned for the release-bench
+  /// workflow — seconds, not minutes, while keeping every gated metric
+  /// meaningful.
+  bool smoke = false;
 
   /// Epochs to run: the explicit override, else `fallback`.
   [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {
@@ -127,6 +135,41 @@ class BenchJson {
 [[nodiscard]] bool read_bench_json_number(const std::string& path,
                                           const std::string& key,
                                           double* value);
+
+/// CI regression gate against a committed BENCH_*.json baseline. Each
+/// require_* call compares one measured cell against the baseline value
+/// under the given tolerance multiplier; failures name the offending cell
+/// and print the measured-vs-baseline ratio so the CI log pinpoints the
+/// regression without re-running locally. Cells missing from the baseline
+/// file (fresh branches, renamed metrics) skip with a note instead of
+/// failing. exit_code() is 0 when every checked cell passed, 3 otherwise —
+/// the bench exit convention the release-bench-smoke workflow keys on.
+class BaselineGate {
+ public:
+  explicit BaselineGate(std::string baseline_path);
+
+  /// Fails when measured < baseline * floor_factor (throughput-style cells;
+  /// e.g. floor_factor 0.75 tolerates a 25% dip). Returns pass/fail.
+  bool require_floor(const std::string& key, double measured,
+                     double floor_factor);
+
+  /// Fails when measured > baseline * ceiling_factor (latency/size-style
+  /// cells; e.g. ceiling_factor 1.25 tolerates 25% growth). Returns
+  /// pass/fail.
+  bool require_ceiling(const std::string& key, double measured,
+                       double ceiling_factor);
+
+  [[nodiscard]] bool all_passed() const { return failures_ == 0; }
+  /// 0 when all checked cells passed, 3 on any failure (CI convention).
+  [[nodiscard]] int exit_code() const { return failures_ == 0 ? 0 : 3; }
+
+ private:
+  bool check(const std::string& key, double measured, double factor,
+             bool is_floor);
+
+  std::string baseline_path_;
+  std::size_t failures_ = 0;
+};
 
 /// Peak resident set size of this process so far, in bytes (Linux
 /// ru_maxrss; 0 where unsupported).

@@ -1,0 +1,198 @@
+// Online inference serving under load (DESIGN.md §9 "Serving path").
+//
+// Runs the event-driven engine with training, churn, geo WAN links, and the
+// open-loop query generator all active at once — the serving numbers only
+// mean something when the replicas are simultaneously learning, going
+// offline, and paying heterogeneous link costs. Reports the query counters
+// and the latency/staleness percentile profile in simulated time, emits
+// BENCH_serving.json, and applies the --baseline regression gate:
+//
+//   query_sim_qps    floor   0.75x  (served queries per simulated second)
+//   latency_p99_s    ceiling 1.25x  (simulated p99 query latency)
+//
+// Both gated cells are measured in *simulated* time, so they are
+// deterministic for a given seed — the tolerance absorbs intentional model
+// retuning, not runner noise. --smoke shrinks the run for CI (seconds);
+// --query-load R overrides the per-node query rate.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/link_model.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+rex::sim::Scenario serving_scenario(const rex::bench::Options& options) {
+  using namespace rex;
+  sim::Scenario s;
+  s.label = "serving";
+  if (options.smoke) {
+    s.dataset.n_users = 48;
+    s.dataset.n_items = 300;
+    s.dataset.n_ratings = 2400;
+  } else if (options.paper_scale) {
+    s.dataset.n_users = 610;
+    s.dataset.n_items = 9000;
+    s.dataset.n_ratings = 100000;
+  } else {
+    s.dataset.n_users = 128;
+    s.dataset.n_items = 1200;
+    s.dataset.n_ratings = 9600;
+  }
+  s.dataset.seed = options.seed ^ 0xDA7A;
+  s.nodes = 0;  // one node per user: every node serves its own user
+  s.topology = sim::TopologyKind::kSmallWorld;
+  s.model = sim::ModelKind::kMf;
+  s.mf_sgd_steps_per_epoch = options.smoke ? 40 : 100;
+  // RMW raw sharing: self-paced timers keep nodes learning through churn
+  // outages, so the serving path sees both fresh and stale replicas.
+  s.rex.algorithm = core::Algorithm::kRmw;
+  s.rex.sharing = core::SharingMode::kRawData;
+  s.rex.data_points_per_epoch = 20;
+  s.epochs = options.epochs_or(options.smoke ? 6 : 10);
+  s.seed = options.seed;
+  s.threads = options.threads;
+  s.engine_mode = sim::EngineMode::kEventDriven;
+  s.dynamics.speed_lognormal_sigma = 0.3;
+  s.dynamics.churn_probability = 0.2;
+  s.dynamics.churn_downtime_s = 0.002;
+  // Geo profile: per-edge log-normal latency/bandwidth over regions — the
+  // WAN heterogeneity is what spreads model staleness across replicas.
+  s.costs.wan = sim::make_wan_profile("geo");
+  // rate_hz is the aggregate arrival rate, Zipf-split over nodes; the
+  // diurnal period and stale threshold are sized to the run's simulated
+  // timescale (epochs land ~100-200 ms apart under the geo profile).
+  s.query_load.rate_hz =
+      options.query_load > 0.0 ? options.query_load : 4000.0;
+  s.query_load.top_k = 10;
+  s.query_load.zipf_s = 0.8;
+  s.query_load.diurnal_amplitude = 0.5;
+  s.query_load.diurnal_period_s = 0.25;
+  s.query_load.stale_threshold_s = 0.25;
+  return s;
+}
+
+void print_estimator(const char* name,
+                     const rex::sim::PercentileEstimator& e) {
+  std::printf("  %-10s p50 %9.6f ms  p99 %9.6f ms  p999 %9.6f ms  "
+              "mean %9.6f ms  max %9.6f ms\n",
+              name, e.quantile(0.50) * 1e3, e.quantile(0.99) * 1e3,
+              e.quantile(0.999) * 1e3, e.mean() * 1e3, e.max() * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rex;
+  const bench::Options options = bench::parse_options(
+      argc, argv, "bench_serving",
+      "Top-k serving under simultaneous training, churn, and geo WAN links; "
+      "--smoke runs the reduced CI profile, --query-load R overrides the "
+      "per-node query rate (simulated Hz)");
+
+  bench::print_header(
+      "Serving — top-k query path under training + churn + geo WAN",
+      options);
+
+  const sim::Scenario scenario = serving_scenario(options);
+  sim::ScenarioInputs inputs;
+  sim::Simulator simulator = sim::make_scenario_simulator(scenario, inputs);
+  std::fprintf(stderr, "  running serving (%zu nodes, %.0f Hz aggregate) ...",
+               simulator.node_count(), scenario.query_load.rate_hz);
+  std::fflush(stderr);
+  simulator.run_attestation();
+  simulator.initialize_nodes();
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run_epochs(scenario.epochs);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  std::fprintf(stderr, " done (%.1f s wall)\n", wall);
+
+  const sim::SimEngine& engine = simulator.engine();
+  const sim::SimEngine::QueryTotals totals = engine.query_totals();
+  const double sim_duration = engine.now().seconds;
+  const double sim_qps =
+      sim_duration > 0.0
+          ? static_cast<double>(totals.served) / sim_duration
+          : 0.0;
+  const double wall_qps =
+      wall > 0.0 ? static_cast<double>(totals.served) / wall : 0.0;
+
+  std::printf("serving profile (%zu nodes, %.0f queries/s aggregate, "
+              "top-%zu, churn p=%.2f, geo WAN)\n",
+              simulator.node_count(), scenario.query_load.rate_hz,
+              scenario.query_load.top_k,
+              scenario.dynamics.churn_probability);
+  std::printf("  queries: %llu issued, %llu served, %llu stale (>%.1f ms), "
+              "%llu dropped offline\n",
+              static_cast<unsigned long long>(totals.issued),
+              static_cast<unsigned long long>(totals.served),
+              static_cast<unsigned long long>(totals.stale),
+              scenario.query_load.stale_threshold_s * 1e3,
+              static_cast<unsigned long long>(totals.dropped_offline));
+  std::printf("  throughput: %.0f queries/sim-second over %.3f ms simulated "
+              "(%.0f queries/wall-second)\n",
+              sim_qps, sim_duration * 1e3, wall_qps);
+  print_estimator("latency", engine.query_latency());
+  print_estimator("staleness", engine.query_staleness());
+
+  if (!options.csv_dir.empty()) {
+    std::filesystem::create_directories(options.csv_dir);
+    sim::write_query_csv(engine, options.csv_dir + "/serving_query.csv");
+    sim::write_node_csv(engine, options.csv_dir + "/serving_nodes.csv");
+  }
+
+  const sim::PercentileEstimator& latency = engine.query_latency();
+  const sim::PercentileEstimator& staleness = engine.query_staleness();
+  bench::BenchJson json;
+  json.str("bench", "bench_serving");
+  json.str("mode", options.smoke ? "smoke"
+                                 : (options.paper_scale ? "paper-scale"
+                                                        : "default"));
+  json.integer("nodes", simulator.node_count());
+  json.integer("seed", options.seed);
+  json.integer("threads", options.threads);
+  json.integer("epochs", scenario.epochs);
+  json.number("query_rate_hz", scenario.query_load.rate_hz);
+  json.integer("queries_issued", totals.issued);
+  json.integer("queries_served", totals.served);
+  json.integer("queries_stale", totals.stale);
+  json.integer("queries_dropped_offline", totals.dropped_offline);
+  json.number("sim_duration_s", sim_duration);
+  json.number("query_sim_qps", sim_qps);
+  json.number("latency_p50_s", latency.quantile(0.50));
+  json.number("latency_p99_s", latency.quantile(0.99));
+  json.number("latency_p999_s", latency.quantile(0.999));
+  json.number("latency_mean_s", latency.mean());
+  json.number("latency_max_s", latency.max());
+  json.number("staleness_p50_s", staleness.quantile(0.50));
+  json.number("staleness_p99_s", staleness.quantile(0.99));
+  json.number("staleness_p999_s", staleness.quantile(0.999));
+  json.number("staleness_mean_s", staleness.mean());
+  json.number("staleness_max_s", staleness.max());
+  json.number("queries_per_wall_sec", wall_qps);
+  json.integer("peak_rss_bytes", bench::peak_rss_bytes());
+  json.write("BENCH_serving.json");
+
+  if (options.baseline_path.empty()) return 0;
+  std::printf("\n");
+  bench::BaselineGate gate(options.baseline_path);
+  double baseline_nodes = 0.0;
+  if (bench::read_bench_json_number(options.baseline_path, "nodes",
+                                    &baseline_nodes) &&
+      static_cast<std::size_t>(baseline_nodes) != simulator.node_count()) {
+    std::fprintf(stderr,
+                 "baseline %s is a %.0f-node profile; skipping the gate for "
+                 "this %zu-node run\n",
+                 options.baseline_path.c_str(), baseline_nodes,
+                 simulator.node_count());
+    return 0;
+  }
+  gate.require_floor("query_sim_qps", sim_qps, 0.75);
+  gate.require_ceiling("latency_p99_s", latency.quantile(0.99), 1.25);
+  return gate.exit_code();
+}

@@ -372,6 +372,11 @@ void TrustedNode::ecall_init(TrustedInit init) {
   store_ = std::move(init.local_train);
   store_index_.reserve(store_.size());
   for (const data::Rating& r : store_) store_index_.insert(pair_key(r));
+  local_users_.reserve(store_.size());
+  for (const data::Rating& r : store_) local_users_.push_back(r.user);
+  std::sort(local_users_.begin(), local_users_.end());
+  local_users_.erase(std::unique(local_users_.begin(), local_users_.end()),
+                     local_users_.end());
   test_data_ = std::move(init.local_test);
   if (neighbors_.empty() && !init.neighbors.empty()) {
     // Attestation may be skipped in native mode; adopt the neighbor list.
@@ -386,6 +391,27 @@ void TrustedNode::ecall_init(TrustedInit init) {
   // Algorithm 2 line 4: epoch 0 on the initial data.
   counters_ = EpochCounters{};
   rex_protocol();
+}
+
+TrustedNode::QueryAnswer TrustedNode::query_topk(data::UserId user,
+                                                 std::size_t k) {
+  REX_REQUIRE(initialized_, "query before ecall_init");
+  const std::size_t n_items = model_->item_count();
+  // Exclusion mask: items `user` already rated here. Cached per (user,
+  // store size) — the store only grows, so a size match means no rating
+  // was appended since the mask was built.
+  if (!seen_mask_valid_ || seen_mask_user_ != user ||
+      seen_mask_store_size_ != store_.size() ||
+      seen_mask_.size() != n_items) {
+    seen_mask_.assign(n_items, 0);
+    for (const data::Rating& r : store_) {
+      if (r.user == user && r.item < n_items) seen_mask_[r.item] = 1;
+    }
+    seen_mask_user_ = user;
+    seen_mask_store_size_ = store_.size();
+    seen_mask_valid_ = true;
+  }
+  return QueryAnswer{topk_.query(*model_, user, k, seen_mask_), epoch_};
 }
 
 void TrustedNode::ecall_input(NodeId src, BytesView blob) {

@@ -22,6 +22,7 @@
 #include "enclave/attestation.hpp"
 #include "enclave/runtime.hpp"
 #include "ml/model.hpp"
+#include "ml/topk.hpp"
 #include "net/message.hpp"
 #include "support/flat_set64.hpp"
 
@@ -188,6 +189,31 @@ class TrustedNode {
 
   /// D-PSGD readiness: one (or more) buffered payloads from every neighbor.
   [[nodiscard]] bool round_ready() const;
+
+  // ===== Serving path (DESIGN.md §9) =====
+
+  /// One answered recommendation query: the ranked list plus the model
+  /// epoch that produced it (the staleness stamp). `items` points into the
+  /// node's reusable top-k scratch — valid until the next query_topk call.
+  struct QueryAnswer {
+    std::span<const ml::ScoredItem> items;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Serves one top-k recommendation query against the current model,
+  /// excluding items `user` already rated in this node's raw-data store.
+  /// Read-only on protocol state: no epoch/runtime counters move, so an
+  /// interleaved query load cannot perturb training metrics.
+  [[nodiscard]] QueryAnswer query_topk(data::UserId user, std::size_t k);
+
+  /// Users whose ratings landed in this node's initial local partition —
+  /// the population the traffic generator samples "local" queries from.
+  [[nodiscard]] std::size_t local_user_count() const {
+    return local_users_.size();
+  }
+  [[nodiscard]] data::UserId local_user(std::size_t index) const {
+    return local_users_[index];
+  }
 
   // ===== Introspection (read by the simulator / tests) =====
 
@@ -361,6 +387,17 @@ class TrustedNode {
   std::vector<PendingInput> input_pool_;
   std::vector<PendingInput> round_scratch_;  // merge_step staging
   std::uint64_t arrival_counter_ = 0;
+
+  // ===== Serving state (DESIGN.md §9) =====
+  /// Sorted unique users of the initial local partition (query population).
+  std::vector<data::UserId> local_users_;
+  ml::TopKIndex topk_;
+  /// Seen-item exclusion mask scratch, cached per (user, store size): a
+  /// burst of queries for a hot user between two epochs rebuilds it once.
+  std::vector<std::uint8_t> seen_mask_;
+  data::UserId seen_mask_user_ = 0;
+  std::size_t seen_mask_store_size_ = 0;
+  bool seen_mask_valid_ = false;
 
   std::uint64_t epoch_ = 0;
   bool initialized_ = false;

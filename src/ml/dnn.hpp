@@ -72,6 +72,9 @@ class DnnModel final : public RecModel {
     mlp += in;
     return 2 * mlp;
   }
+  [[nodiscard]] std::size_t item_count() const override {
+    return config_.n_items;
+  }
   [[nodiscard]] std::size_t parameter_count() const override;
   [[nodiscard]] std::size_t wire_size() const override;
   [[nodiscard]] std::size_t memory_footprint() const override;

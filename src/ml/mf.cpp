@@ -49,6 +49,16 @@ double MfModel::rmse(std::span<const data::Rating> ratings) const {
   return std::sqrt(acc / static_cast<double>(ratings.size()));
 }
 
+void MfModel::score_items(data::UserId user, std::span<float> out) const {
+  REX_REQUIRE(user < config_.n_users && out.size() == config_.n_items,
+              "score buffer/catalog mismatch");
+  const auto user_row = user_embeddings_.row(user);
+  const float base = config_.global_mean + user_bias_[user];
+  for (data::ItemId i = 0; i < config_.n_items; ++i) {
+    out[i] = base + item_bias_[i] + linalg::dot(user_row, item_embeddings_.row(i));
+  }
+}
+
 void MfModel::sgd_step(const data::Rating& rating) {
   const auto u = rating.user;
   const auto i = rating.item;

@@ -43,6 +43,13 @@ class MfModel final : public RecModel {
   /// every node every epoch.
   [[nodiscard]] double rmse(std::span<const data::Rating> ratings)
       const override;
+  [[nodiscard]] std::size_t item_count() const override {
+    return config_.n_items;
+  }
+  /// Statically-bound scoring loop for the serving path: one SIMD dot per
+  /// item over contiguous embedding rows, bit-identical to predict() per
+  /// item (same expression, same order).
+  void score_items(data::UserId user, std::span<float> out) const override;
   void merge(std::span<const MergeSource> sources,
              double self_weight) override;
   [[nodiscard]] Bytes serialize() const override;

@@ -18,4 +18,10 @@ double RecModel::rmse(std::span<const data::Rating> ratings) const {
   return std::sqrt(acc / static_cast<double>(ratings.size()));
 }
 
+void RecModel::score_items(data::UserId user, std::span<float> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = predict(user, static_cast<data::ItemId>(i));
+  }
+}
+
 }  // namespace rex::ml

@@ -108,6 +108,17 @@ class RecModel {
   /// accumulation order — RMSE values feed the golden dumps.
   [[nodiscard]] virtual double rmse(std::span<const data::Rating> ratings)
       const;
+
+  /// Catalog size: valid items are [0, item_count()). The serving path
+  /// (DESIGN.md §9) sizes its score buffers off this.
+  [[nodiscard]] virtual std::size_t item_count() const = 0;
+
+  /// Fills `out` (size item_count()) with predict(user, i) for every item —
+  /// the serving hot loop. Virtual for the same reason as rmse(): the
+  /// default pays one virtual predict() per item; overrides must produce
+  /// bit-identical scores since top-k answers are pinned by property tests
+  /// against a brute-force reference.
+  virtual void score_items(data::UserId user, std::span<float> out) const;
 };
 
 /// Creates per-node model instances (each node seeds its own init).

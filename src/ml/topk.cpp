@@ -1,0 +1,36 @@
+#include "ml/topk.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rex::ml {
+
+std::span<const ScoredItem> TopKIndex::query(
+    const RecModel& model, data::UserId user, std::size_t k,
+    std::span<const std::uint8_t> exclude) {
+  const std::size_t n = model.item_count();
+  REX_CHECK(exclude.empty() || exclude.size() == n,
+            "seen-item mask/catalog size mismatch");
+  scores_.resize(n);
+  model.score_items(user, scores_);
+
+  candidates_.clear();
+  candidates_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!exclude.empty() && exclude[i] != 0) continue;
+    candidates_.push_back(
+        ScoredItem{static_cast<data::ItemId>(i), scores_[i]});
+  }
+  const std::size_t take = std::min(k, candidates_.size());
+  // partial_sort under a strict total order yields exactly the first
+  // `take` elements of the fully sorted sequence — the property tests
+  // compare against sort-and-slice bitwise.
+  std::partial_sort(candidates_.begin(),
+                    candidates_.begin() + static_cast<std::ptrdiff_t>(take),
+                    candidates_.end(), ranks_before);
+  candidates_.resize(take);
+  return candidates_;
+}
+
+}  // namespace rex::ml

@@ -1,0 +1,58 @@
+// Top-k item selection over a learned model's score vector — the serving
+// hot path (DESIGN.md §9 "Serving path").
+//
+// Scoring goes through RecModel::score_items (devirtualized per family,
+// SIMD dot for MF); selection is std::partial_sort on (score desc, item id
+// asc). The strict total order makes the answer independent of partial_
+// sort's internals on ties, so the result is *bitwise* equal to a
+// brute-force full sort-and-slice — the property tests pin exactly that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace rex::ml {
+
+struct ScoredItem {
+  data::ItemId item = 0;
+  float score = 0.0f;
+};
+
+/// Total order for recommendation lists: higher score first, item id as the
+/// deterministic tie-break.
+[[nodiscard]] inline bool ranks_before(const ScoredItem& a,
+                                       const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Reusable top-k selector. Holds the score / candidate scratch buffers so
+/// a node serving many queries allocates only on catalog growth; not
+/// thread-safe — the engine gives each node's queries to one math-phase
+/// shard at a time.
+class TopKIndex {
+ public:
+  /// Scores every item for `user` and returns the k best, excluding items
+  /// whose `exclude` byte is non-zero (the seen-item mask; pass an empty
+  /// span to disable). `k` larger than the surviving catalog returns all
+  /// survivors. The returned span lives until the next query() call.
+  std::span<const ScoredItem> query(const RecModel& model, data::UserId user,
+                                    std::size_t k,
+                                    std::span<const std::uint8_t> exclude);
+
+  /// Flops of one query against `model` (scoring dominates; the select adds
+  /// ~one comparison per item): feeds the simulated-time cost model.
+  [[nodiscard]] static std::size_t flops_per_query(const RecModel& model) {
+    return model.item_count() * model.flops_per_prediction();
+  }
+
+ private:
+  std::vector<float> scores_;
+  std::vector<ScoredItem> candidates_;
+};
+
+}  // namespace rex::ml

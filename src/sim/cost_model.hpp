@@ -50,6 +50,11 @@ struct CostParams {
   /// payloads keep its overhead low.
   double crypto_byte_ns = 4.0;
   double sgx_compute_factor = 1.1;  // MEE overhead on memory-bound compute
+
+  // Serving (DESIGN.md §9): fixed per-query cost on top of the scoring
+  // flops — request decode, the seen-mask check, response encode, and (in
+  // SGX mode, folded into the same constant) the ecall round trip.
+  double query_overhead_ns = 20000.0;
 };
 
 /// Durations of the four protocol stages for one node epoch.
@@ -88,6 +93,18 @@ class CostModel {
   /// One propagation delay (added once per synchronized round).
   [[nodiscard]] SimTime round_latency() const {
     return SimTime{params_.link_latency_s};
+  }
+
+  /// Service time of one top-k query (DESIGN.md §9): score `query_flops`
+  /// (catalog x flops_per_prediction) at the node's effective speed plus
+  /// the fixed per-query overhead. `slowdown` is the node's heterogeneity
+  /// multiplier (same one training pays).
+  [[nodiscard]] SimTime query_time(std::size_t query_flops,
+                                   double slowdown) const {
+    return SimTime{slowdown *
+                   (static_cast<double>(query_flops) * params_.flop_ns +
+                    params_.query_overhead_ns) *
+                   1e-9};
   }
 
   /// Time of one centralized training epoch over `samples` samples.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ml/topk.hpp"
 #include "sim/scenario.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -54,6 +55,16 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
                                      jitter_rngs_[id].normal());
     }
   }
+  query_load_ = QueryLoad(config_.query_load, n);
+  if (query_load_.enabled()) {
+    // One serving stream per node, independent of the jitter streams: an
+    // enabled query load must not perturb straggler/churn draws.
+    query_rngs_.reserve(n);
+    Rng query_master(config_.seed ^ 0x5EF21C0DE5E21FULL);
+    for (std::size_t id = 0; id < n; ++id) {
+      query_rngs_.push_back(query_master.derive(id));
+    }
+  }
 }
 
 void SimEngine::require_initialized() const {
@@ -68,6 +79,7 @@ void SimEngine::schedule(SimTime time, core::NodeId node, EventKind kind,
   event.node = node;
   event.kind = kind;
   event.slot = slot;
+  if (kind != EventKind::kQuery) ++non_query_queued_;
   queue_.push(event);
 }
 
@@ -132,6 +144,7 @@ void SimEngine::run_attestation() {
     const Event event = queue_.pop();
     REX_CHECK(event.kind == EventKind::kAttestStep,
               "non-attestation event before initialize()");
+    --non_query_queued_;
     ++events_processed_;
     transport_.flush_round();
     bool any_delivered = false;
@@ -183,6 +196,17 @@ void SimEngine::initialize(std::vector<data::NodeShard> shards) {
   });
   events_processed_ += n;
   if (config_.mode == EngineMode::kBarrier) {
+    if (query_load_.enabled()) {
+      // Pre-draw each node's first arrival (+ user pick, same draw order
+      // as the event path); collect_round_record serves each round's
+      // window after the round's math.
+      barrier_query_next_.resize(n);
+      for (core::NodeId id = 0; id < n; ++id) {
+        barrier_query_next_[id].arrival =
+            query_load_.next_arrival(id, SimTime{0.0}, query_rngs_[id]);
+        barrier_query_next_[id].user_pick = query_rngs_[id].next_u64();
+      }
+    }
     transport_.flush_round();
     collect_round_record();
   } else {
@@ -200,6 +224,14 @@ void SimEngine::initialize(std::vector<data::NodeShard> shards) {
         rex_.security != enclave::SecurityMode::kNative) {
       schedule(SimTime{config_.dynamics.reattest_interval_s}, 0,
                EventKind::kReattestSweep);
+    }
+    // Serving (DESIGN.md §9): every node's query chain starts at its first
+    // drawn arrival. Scheduled last — and only when enabled — so the seq
+    // numbers of all protocol events above are untouched by the flag.
+    if (query_load_.enabled()) {
+      for (core::NodeId id = 0; id < n; ++id) {
+        schedule_query(id, SimTime{0.0});
+      }
     }
   }
   initialized_ = true;
@@ -238,6 +270,7 @@ void SimEngine::run_barrier_round() {
 
 void SimEngine::collect_round_record() {
   const std::size_t n = hosts_.size();
+  const SimTime round_start = clock_;
   RoundRecord record;
   record.epoch = result_.rounds.size();
   record.nodes_reporting = n;
@@ -259,6 +292,15 @@ void SimEngine::collect_round_record() {
       stages.test = stages.test * factor;
     }
     note_epochs_done(id, 1);
+    if (query_load_.enabled()) {
+      // Serving bookkeeping (DESIGN.md §9): in a barrier round the node
+      // computes over [round_start, round_start + its stage total]; the
+      // model it serves afterwards became current at that compute end.
+      NodeStatus& status = nodes_[id];
+      status.busy_until = round_start + stages.total();
+      status.model_fresh_at = status.busy_until;
+      status.model_epoch = host.trusted().epochs_completed();
+    }
 
     slowest = std::max(slowest, stages.total());
     record.mean_stages.merge += stages.merge;
@@ -302,6 +344,7 @@ void SimEngine::collect_round_record() {
   clock_ += record.round_time;
   record.cumulative_time = clock_;
   result_.rounds.push_back(record);
+  if (query_load_.enabled()) run_barrier_queries(clock_);
 }
 
 // ===== Event mode =====
@@ -387,6 +430,10 @@ void SimEngine::apply_event_math(const Event& event) {
       hosts_[event.node]->on_train_due();
       return;
     }
+    case EventKind::kQuery: {
+      apply_query_math(event);
+      return;
+    }
     // Pure scheduling/bookkeeping events: handled in the serial phase.
     case EventKind::kShare:
     case EventKind::kTest:
@@ -435,6 +482,12 @@ void SimEngine::serial_event_hook(const Event& event) {
     case EventKind::kTest: {
       const PendingEpoch& pe = epoch_slots_[event.slot];
       note_epochs_done(event.node, 1);
+      if (query_load_.enabled()) {
+        // The model this record describes is what queries arriving from
+        // here on are answered with (DESIGN.md §9).
+        nodes_[event.node].model_fresh_at = pe.end;
+        nodes_[event.node].model_epoch = pe.counters.epoch;
+      }
 
       const std::size_t epoch = static_cast<std::size_t>(pe.counters.epoch);
       if (buckets_.size() <= epoch) buckets_.resize(epoch + 1);
@@ -522,12 +575,18 @@ void SimEngine::serial_event_hook(const Event& event) {
     }
     case EventKind::kReattestSweep: {
       run_reattest_sweep(event.time);
-      // Reschedule only while other work is queued: a sweep chain must not
-      // keep an otherwise-finished run alive.
-      if (!queue_.empty()) {
+      // Reschedule only while other (non-query) work is queued: a sweep
+      // chain must not keep an otherwise-finished run alive — and query
+      // chains, which apply the same rule, must not count as "other work"
+      // or the two kinds of chains would sustain each other forever.
+      if (non_query_queued_ > 0) {
         schedule(event.time + SimTime{config_.dynamics.reattest_interval_s},
                  0, EventKind::kReattestSweep);
       }
+      return;
+    }
+    case EventKind::kQuery: {
+      account_query(event);
       return;
     }
     case EventKind::kTrain:
@@ -702,6 +761,134 @@ void SimEngine::run_reattest_sweep(SimTime now) {
   }
 }
 
+// ===== Serving path (DESIGN.md §9) =====
+
+void SimEngine::schedule_query(core::NodeId node, SimTime after) {
+  const SimTime arrival =
+      query_load_.next_arrival(node, after, query_rngs_[node]);
+  const std::uint32_t slot = query_slots_.acquire();
+  QueryJob& job = query_slots_[slot];
+  job = QueryJob{};
+  job.user_pick = query_rngs_[node].next_u64();
+  schedule(arrival, node, EventKind::kQuery, slot);
+}
+
+void SimEngine::apply_query_math(const Event& event) {
+  NodeStatus& status = nodes_[event.node];
+  QueryJob& job = query_slots_[event.slot];
+  if (!status.online && event.time >= status.offline_since) {
+    // Same rule as prepare_delivery: the replica's outage has begun, the
+    // request has nowhere to go (routing to a warm peer is future work).
+    job.dropped = true;
+    return;
+  }
+  core::TrustedNode& trusted = hosts_[event.node]->trusted();
+  const std::size_t users = trusted.local_user_count();
+  const data::UserId user =
+      users > 0 ? trusted.local_user(
+                      static_cast<std::size_t>(job.user_pick % users))
+                : 0;
+  // Real inference against the node's current model — the scoring loop and
+  // the partial-sort select actually run (this is the wall-clock hot path
+  // bench_serving measures), even though the simulated service time below
+  // comes from the cost model.
+  const core::TrustedNode::QueryAnswer answer =
+      trusted.query_topk(user, query_load_.config().top_k);
+  const SimTime compute = cost_model_.query_time(
+      ml::TopKIndex::flops_per_query(trusted.model()), status.slowdown);
+  // Open-loop replica model: a query arriving while the node is mid-epoch
+  // waits for the compute to finish (training and serving share the
+  // replica's one simulated core), then is answered by the epoch that was
+  // in flight — fresh, so staleness 0. A query hitting an idle replica is
+  // answered immediately by the last recorded model. Queries never extend
+  // busy_until: serving does not slow training down, which keeps training
+  // metrics byte-identical with the load on.
+  const double wait =
+      std::max(0.0, (status.busy_until - event.time).seconds);
+  job.latency_s = wait + compute.seconds;
+  if (wait > 0.0) {
+    job.staleness_s = 0.0;
+    job.epoch = answer.epoch;
+  } else {
+    job.staleness_s =
+        std::max(0.0, (event.time - status.model_fresh_at).seconds);
+    job.epoch = status.model_epoch;
+  }
+}
+
+void SimEngine::account_query(const Event& event) {
+  NodeStatus& status = nodes_[event.node];
+  QueryJob& job = query_slots_[event.slot];
+  ++status.queries_issued;
+  if (job.dropped) {
+    ++status.queries_dropped_offline;
+  } else {
+    ++status.queries_served;
+    query_latency_.record(job.latency_s);
+    query_staleness_.record(job.staleness_s);
+    if (job.staleness_s > query_load_.config().stale_threshold_s) {
+      ++status.queries_stale;
+    }
+  }
+  query_slots_.release(event.slot);
+  // Chain the node's next arrival only while non-query work remains: when
+  // training/churn/WAN activity has quiesced, the chains drain and the run
+  // ends (N open-loop chains would otherwise keep each other alive).
+  if (non_query_queued_ > 0) schedule_query(event.node, event.time);
+}
+
+void SimEngine::run_barrier_queries(SimTime round_end) {
+  const std::size_t n = hosts_.size();
+  for (core::NodeId id = 0; id < n; ++id) {
+    NodeStatus& status = nodes_[id];
+    core::TrustedNode& trusted = hosts_[id]->trusted();
+    PendingQuery& next = barrier_query_next_[id];
+    while (next.arrival < round_end) {
+      const SimTime arrival = next.arrival;
+      ++status.queries_issued;
+      const std::size_t users = trusted.local_user_count();
+      const data::UserId user =
+          users > 0 ? trusted.local_user(
+                          static_cast<std::size_t>(next.user_pick % users))
+                    : 0;
+      const core::TrustedNode::QueryAnswer answer =
+          trusted.query_topk(user, query_load_.config().top_k);
+      (void)answer;
+      const SimTime compute = cost_model_.query_time(
+          ml::TopKIndex::flops_per_query(trusted.model()), status.slowdown);
+      // Same latency/staleness model as the event path; busy_until and
+      // model_fresh_at were stamped to this round's per-node compute end
+      // in collect_round_record. Nodes never churn in barrier mode, so no
+      // drops.
+      const double wait =
+          std::max(0.0, (status.busy_until - arrival).seconds);
+      const double staleness =
+          wait > 0.0
+              ? 0.0
+              : std::max(0.0, (arrival - status.model_fresh_at).seconds);
+      ++status.queries_served;
+      query_latency_.record(wait + compute.seconds);
+      query_staleness_.record(staleness);
+      if (staleness > query_load_.config().stale_threshold_s) {
+        ++status.queries_stale;
+      }
+      next.arrival = query_load_.next_arrival(id, arrival, query_rngs_[id]);
+      next.user_pick = query_rngs_[id].next_u64();
+    }
+  }
+}
+
+SimEngine::QueryTotals SimEngine::query_totals() const {
+  QueryTotals totals;
+  for (const NodeStatus& status : nodes_) {
+    totals.issued += status.queries_issued;
+    totals.served += status.queries_served;
+    totals.stale += status.queries_stale;
+    totals.dropped_offline += status.queries_dropped_offline;
+  }
+  return totals;
+}
+
 void SimEngine::post_epoch(core::NodeId id, SimTime start) {
   core::UntrustedHost& host = *hosts_[id];
   NodeStatus& status = nodes_[id];
@@ -808,6 +995,9 @@ bool SimEngine::process_next_batch() {
   if (queue_.empty()) return false;
   batch_.clear();
   queue_.pop_time_batch(batch_);
+  for (const Event& event : batch_) {
+    if (event.kind != EventKind::kQuery) --non_query_queued_;
+  }
   const SimTime t = batch_.front().time;
   clock_ = std::max(clock_, t);
   events_processed_ += batch_.size();

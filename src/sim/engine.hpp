@@ -65,6 +65,8 @@
 #include "sim/event.hpp"
 #include "sim/link_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/percentile.hpp"
+#include "sim/query_load.hpp"
 #include "support/calendar_queue.hpp"
 #include "support/pool.hpp"
 #include "support/rng.hpp"
@@ -138,6 +140,10 @@ class SimEngine {
     EngineMode mode = EngineMode::kBarrier;
     NodeDynamics dynamics;
     std::uint64_t seed = 1;
+    /// Open-loop serving traffic (DESIGN.md §9). Disabled by default:
+    /// no kQuery events exist, so schedule sequence numbers — and the
+    /// golden dumps they pin — are untouched.
+    QueryLoadConfig query_load;
   };
 
   /// Per-node engine-side state, exposed for tests and benches. All of a
@@ -194,6 +200,18 @@ class SimEngine {
     /// Healed partition/regional-outage windows whose cut traffic touched
     /// this node (stamped by sim::ScenarioHarness, DESIGN.md §8).
     std::uint64_t partitions_survived = 0;
+
+    // ===== Serving counters (DESIGN.md §9; all stay 0 with the query
+    // load disabled) =====
+    std::uint64_t queries_issued = 0;   // kQuery events processed
+    std::uint64_t queries_served = 0;   // answered (node online)
+    std::uint64_t queries_stale = 0;    // served with staleness > threshold
+    std::uint64_t queries_dropped_offline = 0;  // arrived during an outage
+    /// When the node's current model became current (its last recorded
+    /// epoch end) — the staleness zero point served to queries.
+    SimTime model_fresh_at;
+    /// Epoch of that model (the epoch stamp on non-waiting answers).
+    std::uint64_t model_epoch = 0;
   };
 
   /// Per-undirected-edge delivery counters, kept only when the LinkModel is
@@ -298,6 +316,11 @@ class SimEngine {
   [[nodiscard]] const core::UntrustedHost& host(core::NodeId id) const {
     return *hosts_.at(id);
   }
+  /// Mutable host access for tests that drive the serving entry point
+  /// (TrustedNode::query_topk reuses per-node scratch, so it is non-const).
+  [[nodiscard]] core::UntrustedHost& host_mutable(core::NodeId id) {
+    return *hosts_.at(id);
+  }
   /// Harness callback: a healed partition/outage window cut traffic that
   /// touched this node.
   void note_partition_survived(core::NodeId id) {
@@ -312,6 +335,30 @@ class SimEngine {
   [[nodiscard]] const NodeDynamics& dynamics() const {
     return config_.dynamics;
   }
+
+  // ===== Serving observability (DESIGN.md §9) =====
+
+  /// Engine-wide query counters. Conservation invariant at any quiescent
+  /// point: issued == served + dropped_offline — every processed arrival
+  /// was answered or dropped at an offline replica, nothing vanishes.
+  struct QueryTotals {
+    std::uint64_t issued = 0;
+    std::uint64_t served = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t dropped_offline = 0;
+  };
+  [[nodiscard]] QueryTotals query_totals() const;
+  /// Streaming percentile estimators over every served query, in simulated
+  /// seconds. Latency = replica wait (the node is mid-epoch) + scoring
+  /// compute; staleness = answer age (arrival - model_fresh_at; 0 when the
+  /// query waited for the in-flight epoch).
+  [[nodiscard]] const PercentileEstimator& query_latency() const {
+    return query_latency_;
+  }
+  [[nodiscard]] const PercentileEstimator& query_staleness() const {
+    return query_staleness_;
+  }
+  [[nodiscard]] const QueryLoad& query_load() const { return query_load_; }
 
  private:
   // ===== shared =====
@@ -374,6 +421,45 @@ class SimEngine {
   /// mid-run handshake left unattested and restart the handshake
   /// (DESIGN.md §8 "Re-attestation sweep").
   void run_reattest_sweep(SimTime now);
+
+  // ===== serving path (DESIGN.md §9) =====
+  /// Draws `node`'s next arrival (strictly after `after`) plus its user
+  /// pick from the node's serving RNG stream and schedules the kQuery.
+  /// Serial phase only.
+  void schedule_query(core::NodeId node, SimTime after);
+  /// Math side of one kQuery: offline drop check, top-k inference against
+  /// the node's current model, latency/staleness into the job slot.
+  void apply_query_math(const Event& event);
+  /// Serial side: per-node counters, the percentile estimators, slot
+  /// release, and — while non-query work remains queued — the next arrival
+  /// of this node's chain (the guard keeps N query chains from keeping
+  /// each other, or a finished run, alive).
+  void account_query(const Event& event);
+  /// Barrier mode: serves every pre-drawn arrival before `round_end` after
+  /// the round's math, walking nodes in id order (trivially deterministic).
+  /// The wait/staleness window comes from the per-node busy_until /
+  /// model_fresh_at stamps collect_round_record just wrote.
+  void run_barrier_queries(SimTime round_end);
+
+  /// One in-flight query, slot-addressed through Event::slot. The arrival
+  /// time and user pick are drawn at schedule time (serial phase); the math
+  /// phase fills in the answer fields.
+  struct QueryJob {
+    /// Raw u64 draw, mapped onto the node's local-user list in the math
+    /// phase (the list is fixed after ecall_init, so the mapping is
+    /// schedule-independent).
+    std::uint64_t user_pick = 0;
+    double latency_s = 0.0;
+    double staleness_s = 0.0;
+    std::uint64_t epoch = 0;  // epoch stamp of the answer
+    bool dropped = false;     // replica offline at arrival
+  };
+  /// Barrier mode's pre-drawn next arrival per node (the event queue is
+  /// not used during rounds).
+  struct PendingQuery {
+    SimTime arrival;
+    std::uint64_t user_pick = 0;
+  };
 
   /// One completed node epoch awaiting its kTest timestamp.
   struct PendingEpoch {
@@ -447,6 +533,18 @@ class SimEngine {
   /// receiver's watermark (DESIGN.md §6).
   std::vector<SimTime> pair_deliver_horizon_;
   std::vector<Rng> jitter_rngs_;        // one independent stream per node
+  // ===== Serving state (DESIGN.md §9; all empty with the load off) =====
+  QueryLoad query_load_;
+  std::vector<Rng> query_rngs_;         // one serving stream per node
+  SlotPool<QueryJob> query_slots_;      // kQuery
+  std::vector<PendingQuery> barrier_query_next_;  // barrier mode only
+  PercentileEstimator query_latency_{1e-6, 1e3};
+  PercentileEstimator query_staleness_{1e-6, 1e5};
+  /// Queued events that are NOT kQuery. Query chains reschedule only while
+  /// this is positive, and the re-attestation sweep chain checks it instead
+  /// of queue_.empty(): otherwise the two kinds of self-rescheduling chains
+  /// would keep each other — and a finished run — alive forever.
+  std::uint64_t non_query_queued_ = 0;
   std::size_t online_count_ = 0;        // nodes currently online
   ResyncTotals resync_totals_;          // engine-wide resync conservation
   /// Recycled scratch for flush_control / the kChurnUp neighbor census

@@ -36,6 +36,13 @@ enum class EventKind : std::uint8_t {
   /// before the next rejoin forces them. Scheduled on node 0 only; the
   /// sweep itself visits every pair.
   kReattestSweep,
+  /// One open-loop inference query arrives at a node (DESIGN.md §9
+  /// "Serving path"). The top-k scoring runs in the parallel math phase;
+  /// the serial hook accounts latency/staleness and chains the node's next
+  /// arrival. Event::slot addresses the QueryJob state. Only scheduled when
+  /// the query load is enabled, so serving-off runs keep their schedule
+  /// sequence numbers — and therefore their golden dumps — byte-identical.
+  kQuery,
 };
 
 [[nodiscard]] inline const char* to_string(EventKind kind) {
@@ -48,6 +55,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kChurnUp: return "churn-up";
     case EventKind::kRejoinDeadline: return "rejoin-deadline";
     case EventKind::kReattestSweep: return "reattest-sweep";
+    case EventKind::kQuery: return "query";
   }
   return "?";
 }

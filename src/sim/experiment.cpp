@@ -113,6 +113,7 @@ Simulator make_scenario_simulator(const Scenario& scenario,
   setup.platforms = scenario.platforms;
   setup.engine = scenario.engine_mode;
   setup.dynamics = scenario.dynamics;
+  setup.query_load = scenario.query_load;
   setup.faults = scenario.faults;
   setup.label =
       scenario.label.empty() ? scenario_label(scenario) : scenario.label;

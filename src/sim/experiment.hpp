@@ -81,6 +81,8 @@ struct Scenario {
   EngineMode engine_mode = EngineMode::kBarrier;
   /// Per-node speed/straggler/churn knobs (inert at defaults).
   NodeDynamics dynamics;
+  /// Open-loop serving traffic (DESIGN.md §9; inert at rate 0).
+  QueryLoadConfig query_load;
   /// Adversarial fault schedule (DESIGN.md §8; inert when empty). Needs
   /// engine_mode == kEventDriven.
   FaultSchedule faults;

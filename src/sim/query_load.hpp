@@ -1,0 +1,109 @@
+// Open-loop inference traffic (DESIGN.md §9 "Serving path"): Poisson
+// arrivals modulated by a diurnal sine, with Zipf hot-key skew across
+// nodes. "Open loop" means arrivals are drawn from the load process alone —
+// a slow or offline replica does not slow the generator down, it just eats
+// queueing delay or drops, which is what makes tail latency measurable.
+//
+// Determinism: each node owns one derived RNG stream (master = scenario
+// seed XOR a serving-only constant, then derive(node)), and all draws
+// happen on the engine's single-threaded serial phase, so 1/2/8-thread
+// runs are bit-identical and an enabled query load never perturbs the
+// training/churn/WAN randomness streams.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+
+namespace rex::sim {
+
+/// Scenario knobs for the open-loop query generator. Disabled by default
+/// (rate_hz == 0): no kQuery events are ever scheduled, keeping serving-off
+/// runs byte-identical to the pre-serving golden dumps.
+struct QueryLoadConfig {
+  /// Mean aggregate arrival rate over the whole cluster, queries per
+  /// simulated second. Split across nodes by the Zipf weights.
+  double rate_hz = 0.0;
+  /// Diurnal modulation m(t) = 1 + amplitude * sin(2*pi*t/period): 0 keeps
+  /// the rate flat, 0.5 swings the instantaneous rate +/-50%.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 1.0;
+  /// Zipf skew across nodes: node ranked i gets weight (i+1)^-s. 0 means
+  /// uniform; 0.9-1.2 models a hot-replica / hot-region serving mix.
+  double zipf_s = 0.0;
+  /// Recommendation list length per query.
+  std::size_t top_k = 10;
+  /// A served answer whose model is older than this (simulated seconds)
+  /// counts as stale in `queries_stale`.
+  double stale_threshold_s = 0.05;
+
+  [[nodiscard]] bool enabled() const { return rate_hz > 0.0; }
+};
+
+/// Per-node arrival math for the open-loop generator. Stateless except for
+/// the precomputed per-node rates; the engine owns the per-node RNG
+/// streams and next-arrival clocks.
+class QueryLoad {
+ public:
+  QueryLoad() = default;
+
+  QueryLoad(const QueryLoadConfig& config, std::size_t nodes)
+      : config_(config) {
+    if (!config_.enabled() || nodes == 0) return;
+    // Zipf weights w_i = (i+1)^-s over node ids, normalized so the
+    // per-node rates sum to rate_hz. Node id doubles as popularity rank:
+    // deterministic, and benches can sort per-node counters by id to see
+    // the skew directly.
+    rates_hz_.resize(nodes);
+    double total = 0.0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      rates_hz_[i] = std::pow(static_cast<double>(i + 1), -config_.zipf_s);
+      total += rates_hz_[i];
+    }
+    const double scale = config_.rate_hz / total;
+    for (double& r : rates_hz_) r *= scale;
+  }
+
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+  [[nodiscard]] const QueryLoadConfig& config() const { return config_; }
+
+  /// Mean arrival rate of `node` at simulated time `t` (diurnal applied).
+  [[nodiscard]] double rate_at(std::size_t node, SimTime t) const {
+    double rate = rates_hz_[node];
+    if (config_.diurnal_amplitude != 0.0 && config_.diurnal_period_s > 0.0) {
+      const double phase =
+          2.0 * kPi * t.seconds / config_.diurnal_period_s;
+      rate *= 1.0 + config_.diurnal_amplitude * std::sin(phase);
+    }
+    return rate > 0.0 ? rate : 0.0;
+  }
+
+  /// Draws the next arrival for `node` strictly after `now` from the
+  /// node's own stream: exponential inter-arrival at the instantaneous
+  /// (diurnally modulated) rate — a standard piecewise approximation of
+  /// the inhomogeneous Poisson process that stays exact when amplitude
+  /// is 0. A momentarily zero rate (amplitude >= 1 at the trough) skips
+  /// ahead by a quarter period instead of dividing by zero.
+  [[nodiscard]] SimTime next_arrival(std::size_t node, SimTime now,
+                                     Rng& rng) const {
+    const double rate = rate_at(node, now);
+    if (rate <= 0.0) {
+      return SimTime{now.seconds + 0.25 * config_.diurnal_period_s};
+    }
+    const double u = rng.uniform01();
+    const double gap = -std::log1p(-u) / rate;
+    return SimTime{now.seconds + gap};
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+
+  QueryLoadConfig config_;
+  std::vector<double> rates_hz_;
+};
+
+}  // namespace rex::sim

@@ -38,7 +38,8 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
          "deliveries_dropped,slowdown,online,rejoins,rejoin_timeouts,"
          "resync_bytes,mean_rejoin_latency_s,deliveries_elided,"
          "deliveries_deferred,tampered_rejected,replays_rejected,"
-         "quote_forgeries_rejected,partitions_survived\n";
+         "quote_forgeries_rejected,partitions_survived,queries_issued,"
+         "queries_served,queries_stale,queries_dropped_offline\n";
   for (core::NodeId id = 0; id < engine.node_count(); ++id) {
     const SimEngine::NodeStatus& status = engine.node_status(id);
     const double mean_rejoin_latency =
@@ -47,11 +48,11 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
                   static_cast<double>(status.rejoins_completed)
             : 0.0;
     const core::TrustedNode& trusted = engine.host(id).trusted();
-    char line[448];
+    char line[512];
     std::snprintf(
         line, sizeof line,
         "%u,%llu,%llu,%llu,%llu,%.6f,%d,%llu,%llu,%llu,%.9f,%llu,"
-        "%llu,%llu,%llu,%llu,%llu\n",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
         id, static_cast<unsigned long long>(status.epochs_done),
         static_cast<unsigned long long>(status.epochs_folded),
         static_cast<unsigned long long>(status.events_processed),
@@ -66,9 +67,43 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
         static_cast<unsigned long long>(trusted.tampered_rejected()),
         static_cast<unsigned long long>(trusted.replays_rejected()),
         static_cast<unsigned long long>(trusted.quote_forgeries_rejected()),
-        static_cast<unsigned long long>(status.partitions_survived));
+        static_cast<unsigned long long>(status.partitions_survived),
+        static_cast<unsigned long long>(status.queries_issued),
+        static_cast<unsigned long long>(status.queries_served),
+        static_cast<unsigned long long>(status.queries_stale),
+        static_cast<unsigned long long>(status.queries_dropped_offline));
     out << line;
   }
+}
+
+void write_query_csv(const SimEngine& engine, const std::string& path) {
+  std::ofstream out(path);
+  REX_REQUIRE(out.good(), "cannot open csv path: " + path);
+  out << "queries_issued,queries_served,queries_stale,"
+         "queries_dropped_offline,sim_qps,latency_p50_s,latency_p99_s,"
+         "latency_p999_s,latency_mean_s,latency_max_s,staleness_p50_s,"
+         "staleness_p99_s,staleness_p999_s,staleness_mean_s,"
+         "staleness_max_s\n";
+  const SimEngine::QueryTotals totals = engine.query_totals();
+  const PercentileEstimator& latency = engine.query_latency();
+  const PercentileEstimator& staleness = engine.query_staleness();
+  const double duration = engine.now().seconds;
+  const double qps =
+      duration > 0.0 ? static_cast<double>(totals.served) / duration : 0.0;
+  char line[512];
+  std::snprintf(
+      line, sizeof line,
+      "%llu,%llu,%llu,%llu,%.3f,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,"
+      "%.9f,%.9f\n",
+      static_cast<unsigned long long>(totals.issued),
+      static_cast<unsigned long long>(totals.served),
+      static_cast<unsigned long long>(totals.stale),
+      static_cast<unsigned long long>(totals.dropped_offline), qps,
+      latency.quantile(0.50), latency.quantile(0.99),
+      latency.quantile(0.999), latency.mean(), latency.max(),
+      staleness.quantile(0.50), staleness.quantile(0.99),
+      staleness.quantile(0.999), staleness.mean(), staleness.max());
+  out << line;
 }
 
 void write_edge_csv(const SimEngine& engine, const std::string& path) {

@@ -34,6 +34,13 @@ void write_node_csv(const SimEngine& engine, const std::string& path);
 /// docs/reporting.md.
 void write_edge_csv(const SimEngine& engine, const std::string& path);
 
+/// Writes the serving summary as a single-row CSV (DESIGN.md §9): query
+/// totals (issued/served/stale/dropped-offline), simulated queries per
+/// second over the run, and the p50/p99/p999/mean/max of query latency and
+/// answer staleness in simulated seconds. All zeros with the query load
+/// off. Full schema: docs/reporting.md.
+void write_query_csv(const SimEngine& engine, const std::string& path);
+
 /// Prints a few sampled rows of a convergence series (every `stride`
 /// epochs) with time, RMSE and traffic columns.
 void print_series(const ExperimentResult& result, std::size_t stride);

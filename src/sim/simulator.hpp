@@ -45,6 +45,8 @@ class Simulator {
     EngineMode engine = EngineMode::kBarrier;
     /// Heterogeneity/failure knobs (inert at defaults).
     NodeDynamics dynamics;
+    /// Open-loop serving traffic (DESIGN.md §9; inert at rate 0).
+    QueryLoadConfig query_load;
     /// Adversarial fault schedule (DESIGN.md §8). Empty = harness off: the
     /// engine runs the exact pre-harness code paths. Byzantine fault kinds
     /// flip RexConfig::tolerate_byzantine so the enclaves count-and-discard

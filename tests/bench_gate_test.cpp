@@ -1,0 +1,106 @@
+// BaselineGate unit tests: the CI regression gate must name the offending
+// cell and print the measured-vs-baseline ratio on failure (exit 3), skip
+// cells the baseline file predates, and stay green on missing baselines
+// (fresh branches have none to compare against).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace rex::bench {
+namespace {
+
+std::string temp_baseline_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string write_baseline(const char* name) {
+  const std::string path = temp_baseline_path(name);
+  BenchJson json;
+  json.number("events_per_sec", 1000.0);
+  json.number("latency_p99_s", 0.004);
+  json.write(path);
+  return path;
+}
+
+TEST(BaselineGateT, PassingCellsExitZero) {
+  const std::string path = write_baseline("gate_pass.json");
+  BaselineGate gate(path);
+  EXPECT_TRUE(gate.require_floor("events_per_sec", 990.0, 0.75));
+  EXPECT_TRUE(gate.require_ceiling("latency_p99_s", 0.0045, 1.25));
+  EXPECT_TRUE(gate.all_passed());
+  EXPECT_EQ(gate.exit_code(), 0);
+}
+
+TEST(BaselineGateT, FloorFailureNamesCellAndRatio) {
+  const std::string path = write_baseline("gate_floor.json");
+  BaselineGate gate(path);
+  testing::internal::CaptureStdout();
+  // 500 vs baseline 1000 at floor 0.75x: ratio 0.500, below 750 -> FAIL.
+  EXPECT_FALSE(gate.require_floor("events_per_sec", 500.0, 0.75));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("events_per_sec"), std::string::npos) << out;
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+  EXPECT_NE(out.find("ratio 0.500"), std::string::npos) << out;
+  EXPECT_FALSE(gate.all_passed());
+  EXPECT_EQ(gate.exit_code(), 3);
+}
+
+TEST(BaselineGateT, CeilingFailureNamesCellAndRatio) {
+  const std::string path = write_baseline("gate_ceiling.json");
+  BaselineGate gate(path);
+  testing::internal::CaptureStdout();
+  // 0.006 vs baseline 0.004 at ceiling 1.25x: ratio 1.500 -> FAIL.
+  EXPECT_FALSE(gate.require_ceiling("latency_p99_s", 0.006, 1.25));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("latency_p99_s"), std::string::npos) << out;
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+  EXPECT_NE(out.find("ratio 1.500"), std::string::npos) << out;
+  EXPECT_EQ(gate.exit_code(), 3);
+}
+
+TEST(BaselineGateT, BoundaryValuesPass) {
+  const std::string path = write_baseline("gate_boundary.json");
+  BaselineGate gate(path);
+  // Exactly on the bound passes: floor is >=, ceiling is <=.
+  EXPECT_TRUE(gate.require_floor("events_per_sec", 750.0, 0.75));
+  EXPECT_TRUE(gate.require_ceiling("latency_p99_s", 0.005, 1.25));
+  EXPECT_EQ(gate.exit_code(), 0);
+}
+
+TEST(BaselineGateT, MissingKeySkipsWithNote) {
+  const std::string path = write_baseline("gate_missing_key.json");
+  BaselineGate gate(path);
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(gate.require_floor("not_a_cell", 1.0, 0.75));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("not_a_cell"), std::string::npos) << out;
+  EXPECT_NE(out.find("skipping"), std::string::npos) << out;
+  EXPECT_TRUE(gate.all_passed());
+  EXPECT_EQ(gate.exit_code(), 0);
+}
+
+TEST(BaselineGateT, MissingBaselineFileSkipsAllCells) {
+  BaselineGate gate(temp_baseline_path("gate_no_such_file.json"));
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(gate.require_floor("events_per_sec", 0.0, 0.75));
+  EXPECT_TRUE(gate.require_ceiling("latency_p99_s", 1e9, 1.25));
+  (void)testing::internal::GetCapturedStdout();
+  EXPECT_EQ(gate.exit_code(), 0);
+}
+
+TEST(BaselineGateT, FailureIsSticky) {
+  const std::string path = write_baseline("gate_sticky.json");
+  BaselineGate gate(path);
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(gate.require_floor("events_per_sec", 1.0, 0.75));
+  EXPECT_TRUE(gate.require_ceiling("latency_p99_s", 0.004, 1.25));
+  (void)testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(gate.all_passed());
+  EXPECT_EQ(gate.exit_code(), 3);
+}
+
+}  // namespace
+}  // namespace rex::bench

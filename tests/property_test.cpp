@@ -17,6 +17,7 @@
 #include "data/partition.hpp"
 #include "graph/topology.hpp"
 #include "ml/mf.hpp"
+#include "ml/topk.hpp"
 #include "serialize/binary.hpp"
 #include "data/compress.hpp"
 #include "sim/experiment.hpp"
@@ -689,6 +690,166 @@ TEST_P(AdversarialScheduleP, RandomScheduleUpholdsEveryInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialScheduleP,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ===== Top-k serving path (DESIGN.md §9) =====
+
+/// Minimal RecModel whose scores are an arbitrary test-chosen vector: the
+/// property drives TopKIndex with tie-heavy catalogs no trained model would
+/// produce. Uses the default score_items (virtual predict per item), which
+/// TopKIndex must reproduce bit-for-bit.
+class FakeScoreModel final : public ml::RecModel {
+ public:
+  explicit FakeScoreModel(std::vector<float> scores)
+      : scores_(std::move(scores)) {}
+
+  [[nodiscard]] std::unique_ptr<RecModel> clone() const override {
+    return std::make_unique<FakeScoreModel>(scores_);
+  }
+  void train_epoch(std::span<const data::Rating>, Rng&) override {}
+  void train_full_pass(std::span<const data::Rating>, Rng&) override {}
+  [[nodiscard]] float predict(data::UserId,
+                              data::ItemId item) const override {
+    return scores_[item];
+  }
+  void merge(std::span<const ml::MergeSource>, double) override {}
+  [[nodiscard]] Bytes serialize() const override { return {}; }
+  void deserialize(BytesView) override {}
+  [[nodiscard]] std::size_t train_samples_per_epoch() const override {
+    return 0;
+  }
+  [[nodiscard]] std::size_t flops_per_sample() const override { return 0; }
+  [[nodiscard]] std::size_t flops_per_prediction() const override {
+    return 1;
+  }
+  [[nodiscard]] std::size_t parameter_count() const override {
+    return scores_.size();
+  }
+  [[nodiscard]] std::size_t wire_size() const override { return 0; }
+  [[nodiscard]] std::size_t memory_footprint() const override { return 0; }
+  [[nodiscard]] const char* kind() const override { return "fake"; }
+  [[nodiscard]] std::size_t item_count() const override {
+    return scores_.size();
+  }
+
+ private:
+  std::vector<float> scores_;
+};
+
+/// One randomized top-k case: a (tie-heavy) score catalog, a k that may
+/// exceed it, and an optional exclusion mask.
+struct TopKCase {
+  std::vector<float> scores;
+  std::vector<std::uint8_t> mask;  // empty = no exclusions
+  std::size_t k = 0;
+};
+
+/// Brute-force reference: full sort under the index's strict total order,
+/// then slice. The partial_sort in TopKIndex must match this bitwise.
+std::vector<ml::ScoredItem> brute_force_reference(const TopKCase& c) {
+  std::vector<ml::ScoredItem> all;
+  for (data::ItemId i = 0; i < c.scores.size(); ++i) {
+    if (!c.mask.empty() && c.mask[i] != 0) continue;
+    all.push_back({i, c.scores[i]});
+  }
+  std::sort(all.begin(), all.end(), ml::ranks_before);
+  all.resize(std::min(c.k, all.size()));
+  return all;
+}
+
+/// Empty string when TopKIndex matches the reference; a description of the
+/// first divergence otherwise.
+std::string topk_violation(const TopKCase& c) {
+  const FakeScoreModel model(c.scores);
+  ml::TopKIndex index;
+  const auto got = index.query(model, 0, c.k, c.mask);
+  const auto want = brute_force_reference(c);
+  std::ostringstream err;
+  if (got.size() != want.size()) {
+    err << "size " << got.size() << " != " << want.size();
+    return err.str();
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (got[i].item != want[i].item || got[i].score != want[i].score) {
+      err << "rank " << i << ": got (" << got[i].item << ", "
+          << got[i].score << ") want (" << want[i].item << ", "
+          << want[i].score << ")";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+class TopKProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopKProperty, BitwiseEqualToBruteForceSortAndSlice) {
+  Rng rng(GetParam() * 0xD1B54A32D192ED03ull + 11);
+  for (int trial = 0; trial < 40; ++trial) {
+    TopKCase c;
+    const std::size_t n = 1 + rng.uniform(60);
+    c.scores.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Quantized to multiples of 0.5 in a narrow band: heavy score ties,
+      // so the item-id tiebreak of the strict total order carries the
+      // ranking most of the time.
+      c.scores.push_back(
+          0.5f * static_cast<float>(rng.uniform(8)));
+    }
+    // k sweeps through degenerate (0), partial, exact, and over-catalog.
+    c.k = rng.uniform(2 * n + 2);
+    if (rng.bernoulli(0.66)) {
+      c.mask.assign(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.mask[i] = rng.bernoulli(0.4) ? 1 : 0;
+      }
+    }
+    std::string failure = topk_violation(c);
+    if (failure.empty()) continue;
+
+    // Shrink greedily: drop one catalog item at a time (and its mask bit)
+    // while the mismatch still reproduces, so the failure names a minimal
+    // catalog.
+    TopKCase minimal = c;
+    bool shrunk = true;
+    while (shrunk && minimal.scores.size() > 1) {
+      shrunk = false;
+      for (std::size_t i = 0; i < minimal.scores.size(); ++i) {
+        TopKCase candidate = minimal;
+        candidate.scores.erase(candidate.scores.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        if (!candidate.mask.empty()) {
+          candidate.mask.erase(candidate.mask.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        }
+        if (candidate.k > candidate.scores.size() + 1) {
+          candidate.k = candidate.scores.size() + 1;
+        }
+        const std::string err = topk_violation(candidate);
+        if (!err.empty()) {
+          minimal = std::move(candidate);
+          failure = err;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    std::ostringstream replay;
+    replay << "k=" << minimal.k << " scores=[";
+    for (std::size_t i = 0; i < minimal.scores.size(); ++i) {
+      replay << (i > 0 ? ", " : "") << minimal.scores[i];
+    }
+    replay << "] mask=[";
+    for (std::size_t i = 0; i < minimal.mask.size(); ++i) {
+      replay << (i > 0 ? ", " : "") << int(minimal.mask[i]);
+    }
+    replay << "]";
+    FAIL() << "top-k mismatch (trial " << trial << "): " << failure
+           << "\nminimal case (" << minimal.scores.size() << " of "
+           << c.scores.size() << " items): " << replay.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace rex
