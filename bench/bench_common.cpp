@@ -34,6 +34,8 @@ namespace {
       "  --churn         churn/rejoin showcase (event engine, rejoin protocol)\n"
       "  --query-load R  per-node open-loop query rate in simulated Hz\n"
       "  --smoke         reduced CI smoke scale (seconds, not minutes)\n"
+      "  --mega-scale    >=100k-node lean-memory cell (bench_async_stragglers)\n"
+      "  --node-csv-sample N  write every Nth node in per-node CSVs\n"
       "  --help          this text\n",
       bench_name.c_str(), description.c_str());
   std::exit(exit_code);
@@ -79,6 +81,13 @@ Options parse_options(int argc, char** argv, const std::string& bench_name,
       options.query_load = std::strtod(next_value(), nullptr);
     } else if (arg == "--smoke") {
       options.smoke = true;
+    } else if (arg == "--mega-scale") {
+      options.mega_scale = true;
+    } else if (arg == "--node-csv-sample") {
+      options.node_csv_sample = static_cast<std::size_t>(
+          std::strtoull(next_value(), nullptr, 10));
+      // An explicit 0 is nonsense; treat it as a full dump.
+      if (options.node_csv_sample == 0) options.node_csv_sample = 1;
     } else if (arg == "--help" || arg == "-h") {
       usage_and_exit(bench_name, description, 0);
     } else {

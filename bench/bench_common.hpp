@@ -48,6 +48,24 @@ struct Options {
   /// workflow — seconds, not minutes, while keeping every gated metric
   /// meaningful.
   bool smoke = false;
+  /// Mega-scale profile (--mega-scale): one >= 100k-node event-driven cell
+  /// with the lean-memory diet on (DESIGN.md §10). Exclusive mode — the
+  /// process must run nothing else, since the bytes/node gate divides
+  /// process peak RSS by the node count. Consumed by
+  /// bench_async_stragglers.
+  bool mega_scale = false;
+  /// Per-node CSV decimation (--node-csv-sample N): write only nodes with
+  /// id % N == 0. 0 = unset, which means a full dump (N = 1) everywhere
+  /// except the mega-scale profile, where an O(active) coarse stride is the
+  /// default and the full 100k-row dump is opt-in via an explicit
+  /// --node-csv-sample 1 (DESIGN.md §10).
+  std::size_t node_csv_sample = 0;
+
+  /// Effective per-node CSV stride: the explicit --node-csv-sample value,
+  /// else `fallback` (1 for the ordinary benches, coarse for mega-scale).
+  [[nodiscard]] std::size_t node_csv_sample_or(std::size_t fallback) const {
+    return node_csv_sample != 0 ? node_csv_sample : fallback;
+  }
 
   /// Epochs to run: the explicit override, else `fallback`.
   [[nodiscard]] std::size_t epochs_or(std::size_t fallback) const {

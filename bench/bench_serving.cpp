@@ -143,7 +143,8 @@ int main(int argc, char** argv) {
   if (!options.csv_dir.empty()) {
     std::filesystem::create_directories(options.csv_dir);
     sim::write_query_csv(engine, options.csv_dir + "/serving_query.csv");
-    sim::write_node_csv(engine, options.csv_dir + "/serving_nodes.csv");
+    sim::write_node_csv(engine, options.csv_dir + "/serving_nodes.csv",
+                        options.node_csv_sample_or(1));
   }
 
   const sim::PercentileEstimator& latency = engine.query_latency();

@@ -378,6 +378,12 @@ void TrustedNode::ecall_init(TrustedInit init) {
   local_users_.erase(std::unique(local_users_.begin(), local_users_.end()),
                      local_users_.end());
   test_data_ = std::move(init.local_test);
+  test_view_ = test_data_;
+  if (!init.shared_test.empty()) {
+    REX_REQUIRE(test_data_.empty(),
+                "shared_test and local_test are mutually exclusive");
+    test_view_ = init.shared_test;
+  }
   if (neighbors_.empty() && !init.neighbors.empty()) {
     // Attestation may be skipped in native mode; adopt the neighbor list.
     neighbors_ = init.neighbors;
@@ -879,8 +885,20 @@ void TrustedNode::share_with(std::span<const NodeId> dsts, Bytes plaintext) {
 }
 
 void TrustedNode::test_step() {
-  counters_.rmse = model_->rmse(test_data_);
-  counters_.test_predictions += test_data_.size();
+  counters_.rmse = model_->rmse(test_view_);
+  counters_.test_predictions += test_view_.size();
+}
+
+void TrustedNode::release_transient_buffers() {
+  input_pool_.clear();
+  input_pool_.shrink_to_fit();
+  round_scratch_.clear();
+  round_scratch_.shrink_to_fit();
+  alien_pool_.clear();
+  seen_mask_.clear();
+  seen_mask_.shrink_to_fit();
+  seen_mask_valid_ = false;
+  if (initialized_) update_memory_accounting();
 }
 
 std::size_t TrustedNode::memory_footprint() const {

@@ -10,11 +10,18 @@ UntrustedHost::UntrustedHost(const RexConfig& config, NodeId id,
                              const enclave::DcapVerifier* verifier,
                              ml::ModelFactory model_factory,
                              std::uint64_t seed, net::Transport& transport)
-    : id_(id), runtime_(config.security, config.epc), transport_(transport) {
+    : id_(id),
+      runtime_(config.security, config.epc),
+      transport_(transport),
+      trusted_(config, id, runtime_, identity, quoting_enclave, verifier,
+               std::move(model_factory), seed, make_send_fn(),
+               &transport.payload_pool()) {}
+
+TrustedNode::SendFn UntrustedHost::make_send_fn() {
   // ocall_send (Algorithm 1 lines 7-8): wrap the enclave's output blob into
   // an envelope and hand it to the network. The blob is refcounted, so a
   // fan-out passes the same storage through here once per edge.
-  auto send = [this](NodeId dst, net::MessageKind kind, SharedBytes blob) {
+  return [this](NodeId dst, net::MessageKind kind, SharedBytes blob) {
     net::Envelope env;
     env.src = id_;
     env.dst = dst;
@@ -22,35 +29,31 @@ UntrustedHost::UntrustedHost(const RexConfig& config, NodeId id,
     env.payload = std::move(blob);
     transport_.send(std::move(env));
   };
-  trusted_ = std::make_unique<TrustedNode>(
-      config, id, runtime_, identity, quoting_enclave, verifier,
-      std::move(model_factory), seed, std::move(send),
-      &transport.payload_pool());
 }
 
 void UntrustedHost::initialize(TrustedInit init) {
-  trusted_->ecall_init(std::move(init));
+  trusted_.ecall_init(std::move(init));
 }
 
 void UntrustedHost::start_attestation(const std::vector<NodeId>& neighbors) {
-  trusted_->start_attestation(neighbors);
+  trusted_.start_attestation(neighbors);
 }
 
 void UntrustedHost::begin_rejoin(const std::vector<NodeId>& online_neighbors) {
-  trusted_->begin_rejoin(online_neighbors);
+  trusted_.begin_rejoin(online_neighbors);
 }
 
 void UntrustedHost::on_deliver(const net::Envelope& envelope) {
   REX_REQUIRE(envelope.dst == id_, "envelope delivered to the wrong host");
   switch (envelope.kind) {
     case net::MessageKind::kAttestation:
-      trusted_->on_attestation_message(envelope.src, envelope.payload);
+      trusted_.on_attestation_message(envelope.src, envelope.payload);
       break;
     case net::MessageKind::kProtocol:
-      trusted_->ecall_input(envelope.src, envelope.payload);
+      trusted_.ecall_input(envelope.src, envelope.payload);
       break;
     case net::MessageKind::kResync:
-      trusted_->ecall_resync(envelope.src, envelope.payload);
+      trusted_.ecall_resync(envelope.src, envelope.payload);
       break;
   }
 }
@@ -63,7 +66,7 @@ void UntrustedHost::on_deliver_batch(
   frames.clear();
   const auto flush = [this] {
     if (frames.empty()) return;
-    trusted_->ecall_input_batch(frames);
+    trusted_.ecall_input_batch(frames);
     frames.clear();
   };
   for (const net::Envelope* envelope : envelopes) {
@@ -79,6 +82,6 @@ void UntrustedHost::on_deliver_batch(
   flush();
 }
 
-void UntrustedHost::on_train_due() { trusted_->ecall_train_due(); }
+void UntrustedHost::on_train_due() { trusted_.ecall_train_due(); }
 
 }  // namespace rex::core

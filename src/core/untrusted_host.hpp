@@ -56,17 +56,25 @@ class UntrustedHost {
   /// be scheduled when an epoch is actually due.
   void on_train_due();
 
-  [[nodiscard]] TrustedNode& trusted() { return *trusted_; }
-  [[nodiscard]] const TrustedNode& trusted() const { return *trusted_; }
+  [[nodiscard]] TrustedNode& trusted() { return trusted_; }
+  [[nodiscard]] const TrustedNode& trusted() const { return trusted_; }
   [[nodiscard]] enclave::Runtime& runtime() { return runtime_; }
   [[nodiscard]] const enclave::Runtime& runtime() const { return runtime_; }
   [[nodiscard]] NodeId id() const { return id_; }
 
  private:
+  /// ocall_send proxy bound to this host (built first in the ctor so the
+  /// by-value trusted_ can be constructed in the member-init list).
+  [[nodiscard]] TrustedNode::SendFn make_send_fn();
+
   NodeId id_;
   enclave::Runtime runtime_;
   net::Transport& transport_;
-  std::unique_ptr<TrustedNode> trusted_;
+  /// By value, not unique_ptr: one node = one contiguous block (host,
+  /// runtime, enclave state), so the support::ObjectArena the simulator
+  /// places hosts in packs *all* per-node state index-addressed and
+  /// cache-adjacent (DESIGN.md §10).
+  TrustedNode trusted_;
 };
 
 }  // namespace rex::core

@@ -12,16 +12,17 @@ namespace rex::ml {
 
 MfModel::MfModel(const MfConfig& config, Rng& init_rng)
     : config_(config),
-      user_embeddings_(config.n_users, config.embedding_dim),
+      user_embeddings_(config.lazy_user_rows ? 0 : config.n_users,
+                       config.embedding_dim),
       item_embeddings_(config.n_items, config.embedding_dim),
-      user_bias_(config.n_users, 0.0f),
+      user_bias_(config.lazy_user_rows ? 0 : config.n_users, 0.0f),
       item_bias_(config.n_items, 0.0f),
-      seen_user_(config.n_users, 0),
+      seen_user_(config.lazy_user_rows ? 0 : config.n_users, 0),
       seen_item_(config.n_items, 0) {
   REX_REQUIRE(config.n_users > 0 && config.n_items > 0,
               "MF model dimensions must be positive");
   REX_REQUIRE(config.embedding_dim > 0, "embedding dim must be positive");
-  user_embeddings_.randomize_normal(init_rng, config.init_stddev);
+  if (!lazy()) user_embeddings_.randomize_normal(init_rng, config.init_stddev);
   item_embeddings_.randomize_normal(init_rng, config.init_stddev);
 }
 
@@ -29,11 +30,85 @@ std::unique_ptr<RecModel> MfModel::clone() const {
   return std::make_unique<MfModel>(*this);
 }
 
+// ===== Lazy user-row store (DESIGN.md §10) =====
+
+std::size_t MfModel::find_user_slot(data::UserId u) const {
+  const auto it = std::lower_bound(
+      user_slots_.begin(), user_slots_.end(), u,
+      [](const auto& entry, data::UserId user) { return entry.first < user; });
+  if (it == user_slots_.end() || it->first != u) return kNoSlot;
+  return it->second;
+}
+
+void MfModel::seeded_user_row(data::UserId u, std::span<float> out) const {
+  Rng rng = Rng(config_.lazy_init_seed).derive(u);
+  for (float& v : out) {
+    v = static_cast<float>(rng.normal(0.0, config_.init_stddev));
+  }
+}
+
+std::size_t MfModel::ensure_user_slot(data::UserId u) {
+  const auto it = std::lower_bound(
+      user_slots_.begin(), user_slots_.end(), u,
+      [](const auto& entry, data::UserId user) { return entry.first < user; });
+  if (it != user_slots_.end() && it->first == u) return it->second;
+  const std::size_t slot = lazy_user_bias_.size();
+  user_slots_.insert(it, {u, static_cast<std::uint32_t>(slot)});
+  lazy_user_rows_.resize(lazy_user_rows_.size() + config_.embedding_dim);
+  seeded_user_row(u, std::span<float>(lazy_user_rows_)
+                         .subspan(slot * config_.embedding_dim,
+                                  config_.embedding_dim));
+  lazy_user_bias_.push_back(0.0f);
+  lazy_seen_user_.push_back(0);
+  return slot;
+}
+
+std::span<const float> MfModel::user_row(data::UserId u) const {
+  if (!lazy()) return user_embeddings_.row(u);
+  const std::size_t slot = find_user_slot(u);
+  if (slot != kNoSlot) {
+    return std::span<const float>(lazy_user_rows_)
+        .subspan(slot * config_.embedding_dim, config_.embedding_dim);
+  }
+  // Unmaterialized read: the row a future write would materialize, computed
+  // into per-thread scratch so pure reads never allocate per-node storage.
+  static thread_local std::vector<float> scratch;
+  scratch.resize(config_.embedding_dim);
+  seeded_user_row(u, scratch);
+  return scratch;
+}
+
+std::span<float> MfModel::user_row_mut(data::UserId u) {
+  if (!lazy()) return user_embeddings_.row(u);
+  const std::size_t slot = ensure_user_slot(u);
+  return std::span<float>(lazy_user_rows_)
+      .subspan(slot * config_.embedding_dim, config_.embedding_dim);
+}
+
+float MfModel::user_bias_at(data::UserId u) const {
+  if (!lazy()) return user_bias_[u];
+  const std::size_t slot = find_user_slot(u);
+  return slot == kNoSlot ? 0.0f : lazy_user_bias_[slot];
+}
+
+float& MfModel::user_bias_ref(data::UserId u) {
+  if (!lazy()) return user_bias_[u];
+  return lazy_user_bias_[ensure_user_slot(u)];
+}
+
+void MfModel::mark_user_seen(data::UserId u) {
+  if (!lazy()) {
+    seen_user_[u] = 1;
+    return;
+  }
+  lazy_seen_user_[ensure_user_slot(u)] = 1;
+}
+
 float MfModel::predict(data::UserId user, data::ItemId item) const {
   REX_REQUIRE(user < config_.n_users && item < config_.n_items,
               "prediction index out of range");
-  return config_.global_mean + user_bias_[user] + item_bias_[item] +
-         linalg::dot(user_embeddings_.row(user), item_embeddings_.row(item));
+  return config_.global_mean + user_bias_at(user) + item_bias_[item] +
+         linalg::dot(user_row(user), item_embeddings_.row(item));
 }
 
 double MfModel::rmse(std::span<const data::Rating> ratings) const {
@@ -52,10 +127,10 @@ double MfModel::rmse(std::span<const data::Rating> ratings) const {
 void MfModel::score_items(data::UserId user, std::span<float> out) const {
   REX_REQUIRE(user < config_.n_users && out.size() == config_.n_items,
               "score buffer/catalog mismatch");
-  const auto user_row = user_embeddings_.row(user);
-  const float base = config_.global_mean + user_bias_[user];
+  const auto row = user_row(user);
+  const float base = config_.global_mean + user_bias_at(user);
   for (data::ItemId i = 0; i < config_.n_items; ++i) {
-    out[i] = base + item_bias_[i] + linalg::dot(user_row, item_embeddings_.row(i));
+    out[i] = base + item_bias_[i] + linalg::dot(row, item_embeddings_.row(i));
   }
 }
 
@@ -68,10 +143,11 @@ void MfModel::sgd_step(const data::Rating& rating) {
   const float lr = config_.learning_rate;
   const float lambda = config_.regularization;
 
-  user_bias_[u] += lr * (error - lambda * user_bias_[u]);
+  float& bu = user_bias_ref(u);
+  bu += lr * (error - lambda * bu);
   item_bias_[i] += lr * (error - lambda * item_bias_[i]);
 
-  auto x = user_embeddings_.row(u);
+  auto x = user_row_mut(u);
   auto y = item_embeddings_.row(i);
   if (config_.embedding_dim < linalg::kSimdThreshold) {
     // Paper-scale dims (k = 2..10) stay inline; same ops as the kernel.
@@ -84,7 +160,7 @@ void MfModel::sgd_step(const data::Rating& rating) {
     linalg::simd::mf_sgd_rows(x.data(), y.data(), config_.embedding_dim,
                               error, lr, lambda);
   }
-  seen_user_[u] = 1;
+  mark_user_seen(u);
   seen_item_[i] = 1;
 }
 
@@ -128,33 +204,36 @@ void MfModel::merge(std::span<const MergeSource> sources, double self_weight) {
   // and later peers axpy on top — no zero-filled temp row, no copy-back.
   // The rounding sequence (one multiply per term, one add per sum step) is
   // identical to the old accumulator's, so merges are bit-stable.
+  // Lazy stores walk the same dense index space: a seen row is always
+  // materialized, so peer reads never hit the seeded-scratch path, and a
+  // row nobody participates in is skipped before any slot is created.
   for (data::UserId u = 0; u < config_.n_users; ++u) {
-    double total = seen_user_[u] ? self_weight : 0.0;
+    const bool self_seen = has_seen_user(u);
+    double total = self_seen ? self_weight : 0.0;
     for (std::size_t s = 0; s < peers.size(); ++s) {
-      if (peers[s]->seen_user_[u]) total += sources[s].weight;
+      if (peers[s]->has_seen_user(u)) total += sources[s].weight;
     }
     if (total <= 0.0) continue;
-    const auto row = user_embeddings_.row(u);
+    const auto row = user_row_mut(u);
     const float self_w =
-        seen_user_[u] ? static_cast<float>(self_weight / total) : 0.0f;
-    float bias = seen_user_[u] ? self_w * user_bias_[u] : 0.0f;
+        self_seen ? static_cast<float>(self_weight / total) : 0.0f;
+    float bias = self_seen ? self_w * user_bias_at(u) : 0.0f;
     bool fused = false;  // row already rescaled into the weighted sum
     for (std::size_t s = 0; s < peers.size(); ++s) {
-      if (!peers[s]->seen_user_[u]) continue;
+      if (!peers[s]->has_seen_user(u)) continue;
       const float w = static_cast<float>(sources[s].weight / total);
       if (!fused) {
-        linalg::weighted_sum_inplace(row, self_w,
-                                     peers[s]->user_embeddings_.row(u), w);
+        linalg::weighted_sum_inplace(row, self_w, peers[s]->user_row(u), w);
         fused = true;
       } else {
-        linalg::axpy(w, peers[s]->user_embeddings_.row(u), row);
+        linalg::axpy(w, peers[s]->user_row(u), row);
       }
-      bias += w * peers[s]->user_bias_[u];
-      seen_user_[u] = 1;  // row knowledge propagates with the merge
+      bias += w * peers[s]->user_bias_at(u);
+      mark_user_seen(u);  // row knowledge propagates with the merge
     }
     // Self the only participant degenerates to w_self == 1: row and bias
     // are left exactly as they were.
-    user_bias_[u] = bias;
+    user_bias_ref(u) = bias;
   }
 
   // Item rows: identical policy.
@@ -186,15 +265,38 @@ void MfModel::merge(std::span<const MergeSource> sources, double self_weight) {
   }
 }
 
+void MfModel::dense_user_image(std::vector<float>& rows,
+                               std::vector<float>& bias,
+                               std::vector<std::uint8_t>& seen) const {
+  rows.resize(config_.n_users * config_.embedding_dim);
+  bias.resize(config_.n_users);
+  seen.resize(config_.n_users);
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    const auto src = user_row(u);
+    std::copy(src.begin(), src.end(),
+              rows.begin() +
+                  static_cast<std::ptrdiff_t>(u * config_.embedding_dim));
+    bias[u] = user_bias_at(u);
+    seen[u] = has_seen_user(u) ? 1 : 0;
+  }
+}
+
 Bytes MfModel::serialize() const {
   serialize::BinaryWriter w;
   w.str(kind());
   w.u32(static_cast<std::uint32_t>(config_.n_users));
   w.u32(static_cast<std::uint32_t>(config_.n_items));
   w.u32(static_cast<std::uint32_t>(config_.embedding_dim));
-  w.f32_array(user_embeddings_.flat());
+  std::vector<float> dense_rows, dense_bias;
+  std::vector<std::uint8_t> dense_seen;
+  if (lazy()) dense_user_image(dense_rows, dense_bias, dense_seen);
+  const std::span<const float> urows =
+      lazy() ? std::span<const float>(dense_rows) : user_embeddings_.flat();
+  const std::vector<float>& ubias = lazy() ? dense_bias : user_bias_;
+  const std::vector<std::uint8_t>& useen = lazy() ? dense_seen : seen_user_;
+  w.f32_array(urows);
   w.f32_array(item_embeddings_.flat());
-  w.f32_array(user_bias_);
+  w.f32_array(ubias);
   w.f32_array(item_bias_);
   // Seen masks, bit-packed.
   const auto write_mask = [&w](const std::vector<std::uint8_t>& mask) {
@@ -207,7 +309,7 @@ Bytes MfModel::serialize() const {
       }
     }
   };
-  write_mask(seen_user_);
+  write_mask(useen);
   write_mask(seen_item_);
   return w.take();
 }
@@ -227,10 +329,6 @@ void MfModel::deserialize(BytesView payload) {
   REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
                   r.u32() == config_.embedding_dim,
               "MF model shape mismatch");
-  r.f32_array(user_embeddings_.flat());
-  r.f32_array(item_embeddings_.flat());
-  r.f32_array(user_bias_);
-  r.f32_array(item_bias_);
   const auto read_mask = [&r](std::vector<std::uint8_t>& mask) {
     std::uint8_t byte = 0;
     for (std::size_t i = 0; i < mask.size(); ++i) {
@@ -238,7 +336,31 @@ void MfModel::deserialize(BytesView payload) {
       mask[i] = (byte >> (i % 8)) & 1;
     }
   };
-  read_mask(seen_user_);
+  if (!lazy()) {
+    r.f32_array(user_embeddings_.flat());
+    r.f32_array(item_embeddings_.flat());
+    r.f32_array(user_bias_);
+    r.f32_array(item_bias_);
+    read_mask(seen_user_);
+    read_mask(seen_item_);
+    r.expect_end();
+    return;
+  }
+  // A full dense image materializes every row (the values must persist);
+  // rows arrive in user order, so slots append without index shuffling.
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    r.f32_array(user_row_mut(u));
+  }
+  r.f32_array(item_embeddings_.flat());
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    user_bias_ref(u) = r.f32();
+  }
+  r.f32_array(item_bias_);
+  std::vector<std::uint8_t> mask(config_.n_users);
+  read_mask(mask);
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    lazy_seen_user_[find_user_slot(u)] = mask[u];
+  }
   read_mask(seen_item_);
   r.expect_end();
 }
@@ -287,9 +409,16 @@ Bytes MfModel::serialize_quantized() const {
   w.u32(static_cast<std::uint32_t>(config_.n_users));
   w.u32(static_cast<std::uint32_t>(config_.n_items));
   w.u32(static_cast<std::uint32_t>(config_.embedding_dim));
-  write_q8_tensor(w, user_embeddings_.flat());
+  std::vector<float> dense_rows, dense_bias;
+  std::vector<std::uint8_t> dense_seen;
+  if (lazy()) dense_user_image(dense_rows, dense_bias, dense_seen);
+  const std::span<const float> urows =
+      lazy() ? std::span<const float>(dense_rows) : user_embeddings_.flat();
+  const std::vector<float>& ubias = lazy() ? dense_bias : user_bias_;
+  const std::vector<std::uint8_t>& useen = lazy() ? dense_seen : seen_user_;
+  write_q8_tensor(w, urows);
   write_q8_tensor(w, item_embeddings_.flat());
-  write_q8_tensor(w, user_bias_);
+  write_q8_tensor(w, ubias);
   write_q8_tensor(w, item_bias_);
   const auto write_mask = [&w](const std::vector<std::uint8_t>& mask) {
     std::uint8_t byte = 0;
@@ -301,7 +430,7 @@ Bytes MfModel::serialize_quantized() const {
       }
     }
   };
-  write_mask(seen_user_);
+  write_mask(useen);
   write_mask(seen_item_);
   return w.take();
 }
@@ -310,10 +439,6 @@ void MfModel::deserialize_quantized(serialize::BinaryReader& r) {
   REX_REQUIRE(r.u32() == config_.n_users && r.u32() == config_.n_items &&
                   r.u32() == config_.embedding_dim,
               "MF model shape mismatch");
-  read_q8_tensor(r, user_embeddings_.flat());
-  read_q8_tensor(r, item_embeddings_.flat());
-  read_q8_tensor(r, user_bias_);
-  read_q8_tensor(r, item_bias_);
   const auto read_mask = [&r](std::vector<std::uint8_t>& mask) {
     std::uint8_t byte = 0;
     for (std::size_t i = 0; i < mask.size(); ++i) {
@@ -321,7 +446,36 @@ void MfModel::deserialize_quantized(serialize::BinaryReader& r) {
       mask[i] = (byte >> (i % 8)) & 1;
     }
   };
-  read_mask(seen_user_);
+  if (!lazy()) {
+    read_q8_tensor(r, user_embeddings_.flat());
+    read_q8_tensor(r, item_embeddings_.flat());
+    read_q8_tensor(r, user_bias_);
+    read_q8_tensor(r, item_bias_);
+    read_mask(seen_user_);
+    read_mask(seen_item_);
+    r.expect_end();
+    return;
+  }
+  // Quantized tensors decode as one block; scatter through the lazy store
+  // (materializes every row, same as the dense codec).
+  std::vector<float> dense_rows(config_.n_users * config_.embedding_dim);
+  std::vector<float> dense_bias(config_.n_users);
+  read_q8_tensor(r, dense_rows);
+  read_q8_tensor(r, item_embeddings_.flat());
+  read_q8_tensor(r, dense_bias);
+  read_q8_tensor(r, item_bias_);
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    const auto dst = user_row_mut(u);
+    std::copy_n(dense_rows.begin() +
+                    static_cast<std::ptrdiff_t>(u * config_.embedding_dim),
+                config_.embedding_dim, dst.begin());
+    user_bias_ref(u) = dense_bias[u];
+  }
+  std::vector<std::uint8_t> mask(config_.n_users);
+  read_mask(mask);
+  for (data::UserId u = 0; u < config_.n_users; ++u) {
+    lazy_seen_user_[find_user_slot(u)] = mask[u];
+  }
   read_mask(seen_item_);
   r.expect_end();
 }
@@ -339,6 +493,29 @@ Bytes MfModel::serialize_sliced(std::uint32_t slice_count,
   w.u32(slice_count);
   w.u32(slice_index);
   // Slice rows are fully determined by (count, index): no ids on the wire.
+  // Row/bias/seen reads go through the user accessors so lazy models emit
+  // the same bytes as eager ones.
+  const auto write_user_rows = [&] {
+    std::uint8_t packed = 0;
+    std::size_t bit = 0;
+    for (std::size_t row = slice_index; row < config_.n_users;
+         row += slice_count) {
+      w.f32_array(user_row(static_cast<data::UserId>(row)));
+      w.f32(user_bias_at(static_cast<data::UserId>(row)));
+    }
+    for (std::size_t row = slice_index; row < config_.n_users;
+         row += slice_count) {
+      const std::uint8_t bitval =
+          has_seen_user(static_cast<data::UserId>(row)) ? 1 : 0;
+      packed |= static_cast<std::uint8_t>(bitval << (bit % 8));
+      if (bit % 8 == 7) {
+        w.u8(packed);
+        packed = 0;
+      }
+      ++bit;
+    }
+    if (bit % 8 != 0) w.u8(packed);
+  };
   const auto write_rows = [&](const linalg::Matrix& emb,
                               const std::vector<float>& bias,
                               const std::vector<std::uint8_t>& mask,
@@ -359,7 +536,7 @@ Bytes MfModel::serialize_sliced(std::uint32_t slice_count,
     }
     if (bit % 8 != 0) w.u8(packed);
   };
-  write_rows(user_embeddings_, user_bias_, seen_user_, config_.n_users);
+  write_user_rows();
   write_rows(item_embeddings_, item_bias_, seen_item_, config_.n_items);
   return w.take();
 }
@@ -371,6 +548,27 @@ void MfModel::deserialize_sliced(serialize::BinaryReader& r) {
   const std::uint32_t count = r.u32();
   const std::uint32_t index = r.u32();
   REX_REQUIRE(count > 1 && index < count, "invalid MF slice spec");
+  const auto read_user_rows = [&] {
+    // Same policy as the eager path: only slice rows keep their seen bits.
+    // Unmaterialized non-slice rows are already unseen; materialized ones
+    // clear per slot.
+    std::fill(lazy_seen_user_.begin(), lazy_seen_user_.end(),
+              std::uint8_t{0});
+    for (std::size_t row = index; row < config_.n_users; row += count) {
+      r.f32_array(user_row_mut(static_cast<data::UserId>(row)));
+      user_bias_ref(static_cast<data::UserId>(row)) = r.f32();
+    }
+    const std::size_t rows = slice_rows(config_.n_users, count, index);
+    std::uint8_t packed = 0;
+    std::size_t bit = 0;
+    for (std::size_t row = index; row < config_.n_users; row += count) {
+      if (bit % 8 == 0) packed = r.u8();
+      lazy_seen_user_[find_user_slot(static_cast<data::UserId>(row))] =
+          (packed >> (bit % 8)) & 1;
+      ++bit;
+    }
+    REX_CHECK(bit == rows, "MF slice row count mismatch");
+  };
   const auto read_rows = [&](linalg::Matrix& emb, std::vector<float>& bias,
                              std::vector<std::uint8_t>& mask, std::size_t n) {
     // Non-slice rows must not participate in merges: clear every seen bit,
@@ -390,14 +588,21 @@ void MfModel::deserialize_sliced(serialize::BinaryReader& r) {
     }
     REX_CHECK(bit == rows, "MF slice row count mismatch");
   };
-  read_rows(user_embeddings_, user_bias_, seen_user_, config_.n_users);
+  if (lazy()) {
+    read_user_rows();
+  } else {
+    read_rows(user_embeddings_, user_bias_, seen_user_, config_.n_users);
+  }
   read_rows(item_embeddings_, item_bias_, seen_item_, config_.n_items);
   r.expect_end();
 }
 
 std::size_t MfModel::parameter_count() const {
-  return user_embeddings_.size() + item_embeddings_.size() +
-         user_bias_.size() + item_bias_.size();
+  // Logical (dense) parameter count, independent of the lazy layout: the
+  // wire codecs always carry the full tensors, and merge counters must stay
+  // comparable across the knob.
+  return (config_.n_users + config_.n_items) * config_.embedding_dim +
+         config_.n_users + config_.n_items;
 }
 
 std::size_t MfModel::wire_size() const {
@@ -407,8 +612,22 @@ std::size_t MfModel::wire_size() const {
 }
 
 std::size_t MfModel::memory_footprint() const {
-  return parameter_count() * sizeof(float) + seen_user_.size() +
-         seen_item_.size();
+  // Actual allocation, not the logical dense size: with lazy user rows this
+  // is what the per-node memory ledger (and the mega-scale bytes/node gate)
+  // must see.
+  std::size_t bytes =
+      (item_embeddings_.size() + item_bias_.size()) * sizeof(float) +
+      seen_item_.size();
+  if (lazy()) {
+    bytes += (lazy_user_rows_.size() + lazy_user_bias_.size()) *
+                 sizeof(float) +
+             lazy_seen_user_.size() +
+             user_slots_.size() * sizeof(user_slots_[0]);
+  } else {
+    bytes += (user_embeddings_.size() + user_bias_.size()) * sizeof(float) +
+             seen_user_.size();
+  }
+  return bytes;
 }
 
 }  // namespace rex::ml

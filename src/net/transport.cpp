@@ -11,10 +11,9 @@ void Transport::flush_round() {
   // Sender-major routing: each destination shard receives envelopes in
   // nondecreasing sender order, which drain_inbox() relies on to merge the
   // shards back into the global (sender id, send order) sequence.
-  for (auto& outbox : outboxes_) {
+  for (EnvelopeFifo& outbox : outboxes_) {
     while (!outbox.empty()) {
-      Envelope env = std::move(outbox.front());
-      outbox.pop_front();
+      Envelope env = outbox.pop_front();
       record_send(env);
       record_delivery(env);
       env.arrival = next_arrival_++;
@@ -48,8 +47,7 @@ void Transport::drain_inbox(NodeId node, std::vector<Envelope>& out) {
         best = s;
       }
     }
-    out.push_back(std::move(shards[best].front()));
-    shards[best].pop_front();
+    out.push_back(shards[best].pop_front());
   }
 }
 
@@ -68,11 +66,10 @@ std::vector<Envelope> Transport::take_outbox(NodeId src) {
 
 void Transport::take_outbox(NodeId src, std::vector<Envelope>& out) {
   check_node(src);
-  std::deque<Envelope>& outbox = outboxes_[src];
+  EnvelopeFifo& outbox = outboxes_[src];
   out.reserve(out.size() + outbox.size());
   while (!outbox.empty()) {
-    out.push_back(std::move(outbox.front()));
-    outbox.pop_front();
+    out.push_back(outbox.pop_front());
   }
 }
 

@@ -26,13 +26,43 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "net/message.hpp"
 #include "support/error.hpp"
 
 namespace rex::net {
+
+/// Recycled FIFO mailbox: a vector plus a head cursor. Every mailbox in the
+/// simulator fully drains between fills (outboxes at the flush/take, inbox
+/// shards at the barrier drain), so popping the last element resets the
+/// cursor and keeps the storage — steady state is allocation-free, and an
+/// *idle* mailbox owns no heap at all (a node-count-sized deque array costs
+/// ~600 B per empty deque in block bookkeeping; at 100k nodes that is real
+/// memory). DESIGN.md §10.
+struct EnvelopeFifo {
+  std::vector<Envelope> items;
+  std::size_t head = 0;
+
+  [[nodiscard]] bool empty() const { return head == items.size(); }
+  [[nodiscard]] std::size_t size() const { return items.size() - head; }
+  [[nodiscard]] const Envelope& front() const { return items[head]; }
+  void push_back(Envelope env) { items.push_back(std::move(env)); }
+  [[nodiscard]] Envelope pop_front() {
+    Envelope env = std::move(items[head++]);
+    if (head == items.size()) {
+      items.clear();
+      head = 0;
+    }
+    return env;
+  }
+  /// Releases the backing storage (freed-on-churn-down diet).
+  void release_storage() {
+    REX_REQUIRE(empty(), "releasing a non-empty mailbox");
+    items = std::vector<Envelope>{};
+    head = 0;
+  }
+};
 
 /// Cumulative per-node traffic counters.
 struct TrafficStats {
@@ -138,6 +168,17 @@ class Transport {
     traffic.epoch.bytes_received += wire;
   }
 
+  /// Frees the backing storage of `node`'s (drained) mailboxes — the
+  /// freed-on-churn-down memory diet (DESIGN.md §10). Queues that still
+  /// hold envelopes keep their storage. Serial phase only.
+  void release_node_storage(NodeId node) {
+    check_node(node);
+    if (outboxes_[node].empty()) outboxes_[node].release_storage();
+    for (EnvelopeFifo& shard : inboxes_[node]) {
+      if (shard.empty()) shard.release_storage();
+    }
+  }
+
   // ===== Accounting =====
 
   [[nodiscard]] const TrafficStats& stats(NodeId node) const {
@@ -159,7 +200,7 @@ class Transport {
     REX_REQUIRE(node < outboxes_.size(), "transport node id out of range");
   }
 
-  using InboxShards = std::array<std::deque<Envelope>, kInboxShards>;
+  using InboxShards = std::array<EnvelopeFifo, kInboxShards>;
 
   /// Cumulative + per-epoch counters for one node, kept adjacent so one
   /// accounting update touches a single cache line (at 10k nodes every
@@ -175,8 +216,8 @@ class Transport {
   /// release payload storage back into this pool on destruction, so the
   /// pool must be destroyed last (members destruct in reverse order).
   BufferPool payload_pool_;
-  std::vector<std::deque<Envelope>> outboxes_;  // indexed by sender
-  std::vector<InboxShards> inboxes_;            // indexed by receiver
+  std::vector<EnvelopeFifo> outboxes_;  // indexed by sender
+  std::vector<InboxShards> inboxes_;    // indexed by receiver
   std::vector<NodeTraffic> traffic_;            // indexed by node
   std::uint64_t next_arrival_ = 0;  // routing order stamp (flush_round only)
 };

@@ -21,8 +21,19 @@ constexpr std::uint64_t kArrivalDelivered = 0;
 constexpr std::uint64_t kArrivalDropped = 1;
 }  // namespace
 
+namespace {
+/// Calendar-queue shard count for a node population: one shard per ~16k
+/// nodes, capped at 8. Pop order is provably identical at any shard count
+/// (seq keys are unique, pop is argmin over shard tops), so this only
+/// affects push/pop contention and bucket sizes (DESIGN.md §10).
+std::size_t queue_shards(std::size_t nodes) {
+  return std::clamp<std::size_t>(nodes / 16384, std::size_t{1},
+                                 std::size_t{8});
+}
+}  // namespace
+
 SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
-                     std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
+                     ObjectArena<core::UntrustedHost>& hosts,
                      net::Transport& transport, const CostModel& cost_model,
                      const LinkModel& links, ThreadPool& pool,
                      ExperimentResult& result, Config config)
@@ -34,7 +45,8 @@ SimEngine::SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
       links_(links),
       pool_(pool),
       result_(result),
-      config_(config) {
+      config_(config),
+      queue_(queue_shards(hosts.size())) {
   const std::size_t n = hosts_.size();
   REX_REQUIRE(n >= 1, "engine needs at least one node");
   REX_REQUIRE(topology_.node_count() == n, "topology/hosts size mismatch");
@@ -133,7 +145,7 @@ void SimEngine::run_attestation() {
   for (core::NodeId id = 0; id < n; ++id) {
     std::vector<core::NodeId> neighbors(topology_.neighbors(id).begin(),
                                         topology_.neighbors(id).end());
-    hosts_[id]->start_attestation(neighbors);
+    hosts_[id].start_attestation(neighbors);
   }
   // The 3-message handshake needs 3 delivery steps; allow slack for odd
   // schedules, then verify. Each step is one kAttestStep event; the clock
@@ -151,7 +163,7 @@ void SimEngine::run_attestation() {
     for (core::NodeId id = 0; id < n; ++id) {
       transport_.drain_inbox(id, drain_scratch_);
       for (const net::Envelope& env : drain_scratch_) {
-        hosts_[id]->on_deliver(env);
+        hosts_[id].on_deliver(env);
         any_delivered = true;
       }
       drain_scratch_.clear();  // release payload refs before the next drain
@@ -165,12 +177,12 @@ void SimEngine::run_attestation() {
   for (core::NodeId id = 0; id < n; ++id) {
     transport_.drain_inbox(id, drain_scratch_);
     for (const net::Envelope& env : drain_scratch_) {
-      hosts_[id]->on_deliver(env);
+      hosts_[id].on_deliver(env);
     }
     drain_scratch_.clear();
   }
   for (core::NodeId id = 0; id < n; ++id) {
-    REX_REQUIRE(hosts_[id]->trusted().fully_attested(),
+    REX_REQUIRE(hosts_[id].trusted().fully_attested(),
                 "mutual attestation failed for node " + std::to_string(id));
   }
 }
@@ -182,16 +194,42 @@ void SimEngine::initialize(std::vector<data::NodeShard> shards) {
   const std::size_t n = hosts_.size();
   REX_REQUIRE(shards.size() == n, "one shard per node required");
   transport_.reset_epoch_stats();
+  if (config_.lean_memory) {
+    // Concatenate the per-node test sets into one engine-owned buffer
+    // (DESIGN.md §10); each node gets a read-only span instead of a copy.
+    // Built serially before the parallel init so the storage never moves
+    // while spans into it exist.
+    std::size_t total = 0;
+    for (const data::NodeShard& shard : shards) total += shard.test.size();
+    shared_test_storage_.reserve(total);
+    shared_test_offsets_.resize(n + 1);
+    for (std::size_t id = 0; id < n; ++id) {
+      shared_test_offsets_[id] = shared_test_storage_.size();
+      shared_test_storage_.insert(shared_test_storage_.end(),
+                                  shards[id].test.begin(),
+                                  shards[id].test.end());
+      shards[id].test = std::vector<data::Rating>{};
+    }
+    shared_test_offsets_[n] = shared_test_storage_.size();
+  }
   // Uniform per-node cost: static block split (parallel_for) is enough.
   pool_.parallel_for(n, [&](std::size_t id) {
-    hosts_[id]->runtime().reset_epoch_counters();
+    hosts_[id].runtime().reset_epoch_counters();
     core::TrustedInit init;
     init.local_train = std::move(shards[id].train);
-    init.local_test = std::move(shards[id].test);
+    if (config_.lean_memory) {
+      init.shared_test =
+          std::span<const data::Rating>(shared_test_storage_)
+              .subspan(shared_test_offsets_[id],
+                       shared_test_offsets_[id + 1] -
+                           shared_test_offsets_[id]);
+    } else {
+      init.local_test = std::move(shards[id].test);
+    }
     init.neighbors.assign(
         topology_.neighbors(static_cast<core::NodeId>(id)).begin(),
         topology_.neighbors(static_cast<core::NodeId>(id)).end());
-    hosts_[id]->initialize(std::move(init));
+    hosts_[id].initialize(std::move(init));
     ++nodes_[id].events_processed;
   });
   events_processed_ += n;
@@ -248,18 +286,18 @@ void SimEngine::run_barrier_round() {
   transport_.reset_epoch_stats();
   // Every node does one epoch of comparable cost: static block split.
   pool_.parallel_for(n, [&](std::size_t id) {
-    hosts_[id]->runtime().reset_epoch_counters();
+    hosts_[id].runtime().reset_epoch_counters();
     // Recycled per-worker drain buffer: the historical loop allocated (and
     // freed) one vector per node per round, n allocations a round at 10k
     // nodes for what is always the same few envelopes' worth of capacity.
     static thread_local std::vector<net::Envelope> drained;
     transport_.drain_inbox(static_cast<core::NodeId>(id), drained);
     for (const net::Envelope& env : drained) {
-      hosts_[id]->on_deliver(env);
+      hosts_[id].on_deliver(env);
     }
     drained.clear();  // release payload refs; keep capacity for the next node
     if (rex_.algorithm == core::Algorithm::kRmw) {
-      hosts_[id]->on_train_due();
+      hosts_[id].on_train_due();
     }
     ++nodes_[id].events_processed;
   });
@@ -279,7 +317,7 @@ void SimEngine::collect_round_record() {
   double rmse_sum = 0.0, bytes_sum = 0.0, mem_sum = 0.0, store_sum = 0.0;
   record.min_rmse = std::numeric_limits<double>::infinity();
   for (core::NodeId id = 0; id < n; ++id) {
-    const core::UntrustedHost& host = *hosts_[id];
+    const core::UntrustedHost& host = hosts_[id];
     const core::EpochCounters& c = host.trusted().last_epoch();
     StageTimes stages = cost_model_.stage_times(host);
     if (config_.dynamics.heterogeneous()) {
@@ -386,9 +424,9 @@ void SimEngine::apply_group_math(std::span<const Event* const> group) {
   const auto flush = [&] {
     if (run.empty()) return;
     if (run.size() == 1) {
-      hosts_[node]->on_deliver(*run.front());
+      hosts_[node].on_deliver(*run.front());
     } else {
-      hosts_[node]->on_deliver_batch(run);
+      hosts_[node].on_deliver_batch(run);
     }
     run.clear();
   };
@@ -410,7 +448,7 @@ void SimEngine::apply_event_math(const Event& event) {
   switch (event.kind) {
     case EventKind::kDeliver: {
       if (net::Envelope* env = prepare_delivery(event)) {
-        hosts_[event.node]->on_deliver(*env);
+        hosts_[event.node].on_deliver(*env);
       }
       return;
     }
@@ -418,7 +456,7 @@ void SimEngine::apply_event_math(const Event& event) {
       --status.trains_pending;     // this timer left the queue
       if (!status.online) return;  // churned: kChurnUp restarts the timer
       if (rex_.algorithm == core::Algorithm::kDpsgd &&
-          hosts_[event.node]->trusted().epochs_completed() >
+          hosts_[event.node].trusted().epochs_completed() >
               status.epochs_seen) {
         // A delivery in this same batch already ran an epoch; running the
         // catch-up now would fold two epochs into one metrics record.
@@ -427,7 +465,7 @@ void SimEngine::apply_event_math(const Event& event) {
       }
       // RMW: the period timer. D-PSGD: a pipeline catch-up epoch if a full
       // round is already buffered (no-op otherwise).
-      hosts_[event.node]->on_train_due();
+      hosts_[event.node].on_train_due();
       return;
     }
     case EventKind::kQuery: {
@@ -518,7 +556,7 @@ void SimEngine::serial_event_hook(const Event& event) {
       mark = cumulative;
 
       const double memory = static_cast<double>(
-          hosts_[event.node]->runtime().stats().resident_bytes);
+          hosts_[event.node].runtime().stats().resident_bytes);
       bucket.mem_sum += memory;
       bucket.mem_max = std::max(bucket.mem_max, memory);
       bucket.store_sum += static_cast<double>(pe.counters.store_size);
@@ -554,8 +592,8 @@ void SimEngine::serial_event_hook(const Event& event) {
       for (const core::NodeId peer : topology_.neighbors(event.node)) {
         if (nodes_[peer].online) online_peers_scratch_.push_back(peer);
       }
-      hosts_[event.node]->begin_rejoin(online_peers_scratch_);
-      if (hosts_[event.node]->trusted().rejoining()) {
+      hosts_[event.node].begin_rejoin(online_peers_scratch_);
+      if (hosts_[event.node].trusted().rejoining()) {
         schedule(event.time + SimTime{config_.dynamics.rejoin_timeout_s},
                  event.node, EventKind::kRejoinDeadline, status.rejoin_gen);
       }
@@ -569,7 +607,7 @@ void SimEngine::serial_event_hook(const Event& event) {
         return;  // completed in time, or a previous outage's watchdog
       }
       ++status.rejoin_timeouts;
-      hosts_[event.node]->trusted().finish_rejoin();
+      hosts_[event.node].trusted().finish_rejoin();
       complete_rejoin(event.node, event.time);
       return;
     }
@@ -689,7 +727,7 @@ void SimEngine::flush_control(core::NodeId id, SimTime now) {
 
 void SimEngine::check_rejoin(core::NodeId id, SimTime now) {
   if (!nodes_[id].rejoining) return;
-  if (hosts_[id]->trusted().rejoining()) return;  // exchange still running
+  if (hosts_[id].trusted().rejoining()) return;  // exchange still running
   complete_rejoin(id, now);
 }
 
@@ -704,7 +742,7 @@ void SimEngine::complete_rejoin(core::NodeId id, SimTime now) {
   // the exchange count).
   if (status.trains_pending == 0 &&
       (rex_.algorithm == core::Algorithm::kRmw ||
-       hosts_[id]->trusted().round_ready())) {
+       hosts_[id].trusted().round_ready())) {
     schedule_train(now, id);
   }
 }
@@ -727,9 +765,9 @@ void SimEngine::run_reattest_sweep(SimTime now) {
       if (!nodes_[v].online || nodes_[v].rejoining) continue;
       const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
       const enclave::AttestationState su =
-          hosts_[u]->trusted().session_state(v);
+          hosts_[u].trusted().session_state(v);
       const enclave::AttestationState sv =
-          hosts_[v]->trusted().session_state(u);
+          hosts_[v].trusted().session_state(u);
       const bool u_ok = su == enclave::AttestationState::kAttested;
       const bool v_ok = sv == enclave::AttestationState::kAttested;
       if (u_ok && v_ok) {
@@ -754,7 +792,7 @@ void SimEngine::run_reattest_sweep(SimTime now) {
         initiator = v;
       }
       const core::NodeId target = initiator == u ? v : u;
-      hosts_[initiator]->trusted().heal_attestation(target);
+      hosts_[initiator].trusted().heal_attestation(target);
       ++reattest_heals_;
       flush_control(initiator, now);  // the challenge leaves immediately
     }
@@ -782,7 +820,7 @@ void SimEngine::apply_query_math(const Event& event) {
     job.dropped = true;
     return;
   }
-  core::TrustedNode& trusted = hosts_[event.node]->trusted();
+  core::TrustedNode& trusted = hosts_[event.node].trusted();
   const std::size_t users = trusted.local_user_count();
   const data::UserId user =
       users > 0 ? trusted.local_user(
@@ -841,7 +879,7 @@ void SimEngine::run_barrier_queries(SimTime round_end) {
   const std::size_t n = hosts_.size();
   for (core::NodeId id = 0; id < n; ++id) {
     NodeStatus& status = nodes_[id];
-    core::TrustedNode& trusted = hosts_[id]->trusted();
+    core::TrustedNode& trusted = hosts_[id].trusted();
     PendingQuery& next = barrier_query_next_[id];
     while (next.arrival < round_end) {
       const SimTime arrival = next.arrival;
@@ -890,7 +928,7 @@ SimEngine::QueryTotals SimEngine::query_totals() const {
 }
 
 void SimEngine::post_epoch(core::NodeId id, SimTime start) {
-  core::UntrustedHost& host = *hosts_[id];
+  core::UntrustedHost& host = hosts_[id];
   NodeStatus& status = nodes_[id];
 
   const double factor = epoch_slowdown(id);
@@ -988,6 +1026,13 @@ void SimEngine::post_epoch(core::NodeId id, SimTime start) {
     // wait for the node to come back).
     status.busy_until = std::max(status.busy_until, end + downtime);
     schedule(end + downtime, id, EventKind::kChurnUp);
+    if (config_.lean_memory) {
+      // Idle nodes shed caches (DESIGN.md §10): recycled payload/merge
+      // scratch and drained mailbox storage return on demand after the
+      // rejoin. Serial phase — the transport freelists are safe to touch.
+      host.trusted().release_transient_buffers();
+      transport_.release_node_storage(id);
+    }
   }
 }
 
@@ -1010,7 +1055,7 @@ bool SimEngine::process_next_batch() {
     const Event& event = batch_.front();
     apply_event_math(event);
     serial_event_hook(event);
-    if (hosts_[event.node]->trusted().epochs_completed() >
+    if (hosts_[event.node].trusted().epochs_completed() >
         nodes_[event.node].epochs_seen) {
       post_epoch(event.node, t);
     } else {
@@ -1053,7 +1098,7 @@ bool SimEngine::process_next_batch() {
   }
   std::sort(batch_nodes_.begin(), batch_nodes_.end());
   for (const core::NodeId id : batch_nodes_) {
-    if (hosts_[id]->trusted().epochs_completed() > nodes_[id].epochs_seen) {
+    if (hosts_[id].trusted().epochs_completed() > nodes_[id].epochs_seen) {
       post_epoch(id, t);
     } else {
       flush_control(id, t);  // rejoin traffic raised this batch

@@ -67,6 +67,7 @@
 #include "sim/metrics.hpp"
 #include "sim/percentile.hpp"
 #include "sim/query_load.hpp"
+#include "support/arena.hpp"
 #include "support/calendar_queue.hpp"
 #include "support/pool.hpp"
 #include "support/rng.hpp"
@@ -144,20 +145,40 @@ class SimEngine {
     /// no kQuery events exist, so schedule sequence numbers — and the
     /// golden dumps they pin — are untouched.
     QueryLoadConfig query_load;
+    /// Mega-scale memory diet (DESIGN.md §10): test sets share one
+    /// engine-owned buffer, and churned-down nodes shed transient caches
+    /// (enclave scratch pools + drained mailbox storage). Off by default —
+    /// the accounting shift is knob-gated like the lazy model layout.
+    bool lean_memory = false;
   };
 
   /// Per-node engine-side state, exposed for tests and benches. All of a
   /// node's scheduling state lives in this one struct (not parallel
-  /// vectors) on purpose: at 10k nodes every event lands on a random node,
-  /// and each extra array means another cold cache line per event.
+  /// vectors) on purpose: at 10k+ nodes every event lands on a random node,
+  /// and each extra array means another cold cache line per event. The
+  /// field order is cache-line-conscious (DESIGN.md §10): the per-event
+  /// hot set — the fields schedule/post_epoch/note_epochs_done and the
+  /// run_epochs target spin touch on essentially every event — packs into
+  /// the first 64 bytes; colder churn/rejoin/serving state follows.
   struct NodeStatus {
+    // ----- hot per-event section (first cache line) -----
     double slowdown = 1.0;           // static speed factor (duration scale)
     bool online = true;
+    /// Rejoin protocol state (DESIGN.md §6): set at kChurnUp, cleared when
+    /// the node's re-attestation + resync exchange completes (or the
+    /// watchdog fires) and its train timer restarts.
+    bool rejoining = false;
+    std::uint32_t trains_pending = 0;      // kTrain events in the queue
     SimTime busy_until;
     std::uint64_t epochs_done = 0;   // kTest events processed
+    /// Math-time epoch watermark (epochs the engine has accounted for).
+    std::uint64_t epochs_seen = 0;
+    /// run_epochs() goal (valid while targets are active).
+    std::uint64_t epoch_target = 0;
     std::uint64_t events_processed = 0;
     std::uint64_t deliveries_dropped = 0;  // lost to churn
-    std::uint32_t trains_pending = 0;      // kTrain events in the queue
+
+    // ----- cold churn/rejoin/config section -----
     /// Epochs whose metrics were folded into the next record because two
     /// protocol runs landed in one same-timestamp batch (rare exact ties;
     /// counted so epoch targets stay consistent).
@@ -169,10 +190,6 @@ class SimEngine {
     /// End of the current (or last) outage — known at draw time, used by
     /// the defer policy to release held shares when the peer returns.
     SimTime back_online_at;
-    /// Rejoin protocol state (DESIGN.md §6): set at kChurnUp, cleared when
-    /// the node's re-attestation + resync exchange completes (or the
-    /// watchdog fires) and its train timer restarts.
-    bool rejoining = false;
     /// Watchdog generation: a kRejoinDeadline whose slot does not match is
     /// left over from a previous outage and ignored.
     std::uint32_t rejoin_gen = 0;
@@ -188,10 +205,6 @@ class SimEngine {
     /// Sum over completed rejoins of (completion - kChurnUp) — the
     /// re-attestation + resync latency; mean = sum / rejoins_completed.
     double rejoin_latency_sum_s = 0.0;
-    /// Math-time epoch watermark (epochs the engine has accounted for).
-    std::uint64_t epochs_seen = 0;
-    /// run_epochs() goal (valid while targets are active).
-    std::uint64_t epoch_target = 0;
     /// Cumulative traffic at the last kTest record (per-epoch deltas).
     net::TrafficStats traffic_mark;
     /// Sender-side wire-occupancy queue (WAN profiles only): outgoing
@@ -241,7 +254,7 @@ class SimEngine {
   /// hosts, transport, topology, cost model, pool and result sink, which
   /// must outlive the engine.
   SimEngine(const core::RexConfig& rex, const graph::Graph& topology,
-            std::vector<std::unique_ptr<core::UntrustedHost>>& hosts,
+            ObjectArena<core::UntrustedHost>& hosts,
             net::Transport& transport, const CostModel& cost_model,
             const LinkModel& links, ThreadPool& pool,
             ExperimentResult& result, Config config);
@@ -314,12 +327,12 @@ class SimEngine {
   /// Read-only host access for the harness/invariant layer (per-node
   /// rejection counters live on the trusted side).
   [[nodiscard]] const core::UntrustedHost& host(core::NodeId id) const {
-    return *hosts_.at(id);
+    return hosts_.at(id);
   }
   /// Mutable host access for tests that drive the serving entry point
   /// (TrustedNode::query_topk reuses per-node scratch, so it is non-const).
   [[nodiscard]] core::UntrustedHost& host_mutable(core::NodeId id) {
-    return *hosts_.at(id);
+    return hosts_.at(id);
   }
   /// Harness callback: a healed partition/outage window cut traffic that
   /// touched this node.
@@ -491,7 +504,7 @@ class SimEngine {
 
   const core::RexConfig& rex_;
   const graph::Graph& topology_;
-  std::vector<std::unique_ptr<core::UntrustedHost>>& hosts_;
+  ObjectArena<core::UntrustedHost>& hosts_;
   net::Transport& transport_;
   const CostModel& cost_model_;
   const LinkModel& links_;
@@ -499,7 +512,10 @@ class SimEngine {
   ExperimentResult& result_;
   Config config_;
 
-  CalendarQueue<Event, EventCalendarKey> queue_;
+  /// Sharded calendar queue: identical (time, seq) pop order at any shard
+  /// count (support/calendar_queue.hpp), shards scaled to the node
+  /// population in the ctor (DESIGN.md §10).
+  ShardedCalendarQueue<Event, EventCalendarKey> queue_;
   std::uint64_t next_seq_ = 0;
   SimTime clock_;
   std::size_t attestation_rounds_ = 0;
@@ -582,6 +598,12 @@ class SimEngine {
   /// Recycled attestation drain buffer (one per engine; the attestation
   /// loop is single-threaded).
   std::vector<net::Envelope> drain_scratch_;
+
+  /// Lean-memory shared test buffer (Config::lean_memory; DESIGN.md §10):
+  /// every node's test ratings concatenated once, handed to the enclaves
+  /// as read-only per-node spans instead of per-node owned copies.
+  std::vector<data::Rating> shared_test_storage_;
+  std::vector<std::size_t> shared_test_offsets_;  // n + 1 prefix offsets
 };
 
 }  // namespace rex::sim

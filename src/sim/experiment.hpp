@@ -69,6 +69,13 @@ struct Scenario {
   std::size_t dnn_batch_size = 32;
   std::size_t dnn_batches_per_epoch = 10;
 
+  /// Mega-scale memory diet (DESIGN.md §10): lazy MF user rows, one shared
+  /// read-only test set across nodes, and transient-buffer release on
+  /// churn-down. Changes init-RNG draw order and the per-node memory
+  /// ledger, so results are only comparable within one knob setting —
+  /// every pre-existing cell keeps this off.
+  bool lean_memory = false;
+
   std::size_t epochs = 100;
   double train_fraction = 0.7;
   std::uint64_t seed = 1;

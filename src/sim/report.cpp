@@ -31,7 +31,9 @@ void write_csv(const ExperimentResult& result, const std::string& path) {
   }
 }
 
-void write_node_csv(const SimEngine& engine, const std::string& path) {
+void write_node_csv(const SimEngine& engine, const std::string& path,
+                    std::size_t sample) {
+  if (sample == 0) sample = 1;
   std::ofstream out(path);
   REX_REQUIRE(out.good(), "cannot open csv path: " + path);
   out << "node_id,epochs_done,epochs_folded,events_processed,"
@@ -40,7 +42,8 @@ void write_node_csv(const SimEngine& engine, const std::string& path) {
          "deliveries_deferred,tampered_rejected,replays_rejected,"
          "quote_forgeries_rejected,partitions_survived,queries_issued,"
          "queries_served,queries_stale,queries_dropped_offline\n";
-  for (core::NodeId id = 0; id < engine.node_count(); ++id) {
+  for (core::NodeId id = 0; id < engine.node_count();
+       id = static_cast<core::NodeId>(id + sample)) {
     const SimEngine::NodeStatus& status = engine.node_status(id);
     const double mean_rejoin_latency =
         status.rejoins_completed > 0

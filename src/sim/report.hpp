@@ -21,7 +21,11 @@ void write_csv(const ExperimentResult& result, const std::string& path);
 /// node_id,epochs_done,epochs_folded,events_processed,deliveries_dropped,
 /// slowdown,online. The per-node epoch counts are the async divergence the
 /// aggregate series cannot show (fast nodes overshoot, churned nodes lag).
-void write_node_csv(const SimEngine& engine, const std::string& path);
+/// `sample` decimates deterministically — only nodes with id % sample == 0
+/// are written (DESIGN.md §10: at 100k+ nodes a full dump is opt-in via
+/// sample == 1), so the dump cost scales with the sampled population.
+void write_node_csv(const SimEngine& engine, const std::string& path,
+                    std::size_t sample = 1);
 
 /// Writes the link model's per-edge draws plus the engine's per-edge
 /// delivery counters as CSV (one row per undirected topology edge):

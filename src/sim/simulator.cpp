@@ -50,13 +50,12 @@ Simulator::Simulator(Setup setup)
       enclave::measure_enclave_image("rex-enclave-v1")};
 
   Rng master(setup.seed);
-  hosts_.reserve(n);
   for (core::NodeId id = 0; id < n; ++id) {
     const std::uint64_t node_seed = master.derive(id).seed();
-    hosts_.push_back(std::make_unique<core::UntrustedHost>(
+    hosts_.emplace_back(
         rex_, id, identity,
         quoting_enclaves_[id % quoting_enclaves_.size()].get(),
-        verifier_.get(), setup.model_factory, node_seed, *transport_));
+        verifier_.get(), setup.model_factory, node_seed, *transport_);
   }
 
   SimEngine::Config engine_config;
@@ -64,6 +63,7 @@ Simulator::Simulator(Setup setup)
   engine_config.dynamics = setup.dynamics;
   engine_config.seed = setup.seed;
   engine_config.query_load = setup.query_load;
+  engine_config.lean_memory = setup.lean_memory;
   engine_ = std::make_unique<SimEngine>(rex_, *topology_, hosts_,
                                         *transport_, cost_model_,
                                         *link_model_, *pool_, result_,

@@ -24,6 +24,7 @@
 #include "sim/link_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "support/arena.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rex::sim {
@@ -52,6 +53,9 @@ class Simulator {
     /// flip RexConfig::tolerate_byzantine so the enclaves count-and-discard
     /// instead of aborting the whole run on the first hostile envelope.
     FaultSchedule faults;
+    /// Mega-scale memory diet (DESIGN.md §10): shared test buffer +
+    /// churn-down cache release. See Scenario::lean_memory.
+    bool lean_memory = false;
   };
 
   explicit Simulator(Setup setup);
@@ -79,7 +83,7 @@ class Simulator {
   [[nodiscard]] const ExperimentResult& result() const { return result_; }
   [[nodiscard]] std::size_t node_count() const { return hosts_.size(); }
   [[nodiscard]] core::UntrustedHost& host(core::NodeId id) {
-    return *hosts_.at(id);
+    return hosts_.at(id);
   }
   [[nodiscard]] net::Transport& transport() { return *transport_; }
   [[nodiscard]] const graph::Graph& topology() const { return *topology_; }
@@ -103,7 +107,10 @@ class Simulator {
   CostModel cost_model_;
   std::unique_ptr<LinkModel> link_model_;  // outlives the engine
   std::unique_ptr<net::Transport> transport_;
-  std::vector<std::unique_ptr<core::UntrustedHost>> hosts_;
+  /// Node arena (DESIGN.md §10): hosts — and with them the runtimes and
+  /// trusted nodes they embed by value — live index-addressed in large
+  /// contiguous chunks instead of one heap object per node.
+  ObjectArena<core::UntrustedHost> hosts_;
   std::vector<data::NodeShard> shards_;  // consumed by initialize_nodes()
   std::unique_ptr<ThreadPool> pool_;
 

@@ -1,0 +1,86 @@
+// Chunked object arena: the node-state memory layout of the mega-scale
+// profile (DESIGN.md §10).
+//
+// The simulator used to hold its nodes as vector<unique_ptr<UntrustedHost>>
+// — one malloc per node for the host block plus one per node for the
+// TrustedNode behind it, scattered wherever the allocator put them. At
+// 100k+ nodes that is 200k+ small allocations whose headers alone are real
+// memory, and whose placement guarantees a cold cache line (or several) on
+// every event, since events land on effectively random nodes.
+//
+// ObjectArena<T> replaces that with placement-new into large contiguous
+// chunks: node i lives at a fixed address computed from its index, nodes
+// with adjacent ids share cache lines and pages, and per-node allocator
+// metadata disappears. Objects are index-addressed (the engine already
+// speaks NodeId everywhere), never moved, and destroyed in reverse
+// construction order when the arena goes away. There is no per-object
+// free — the population only churns *state*, not objects, and the whole
+// arena dies with the Simulator.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rex {
+
+template <class T>
+class ObjectArena {
+ public:
+  /// Objects per chunk: large enough that chunk bookkeeping is noise,
+  /// small enough that a sub-chunk population does not overcommit.
+  static constexpr std::size_t kChunkObjects = 1024;
+
+  ObjectArena() = default;
+  ObjectArena(const ObjectArena&) = delete;
+  ObjectArena& operator=(const ObjectArena&) = delete;
+
+  ~ObjectArena() {
+    // Reverse construction order, mirroring vector<unique_ptr> teardown.
+    for (std::size_t i = size_; i > 0; --i) slot(i - 1)->~T();
+  }
+
+  /// Constructs the next object in place and returns it; its index is
+  /// size() - 1 and its address is stable for the arena's lifetime.
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == chunks_.size() * kChunkObjects) {
+      chunks_.push_back(std::make_unique<Storage[]>(kChunkObjects));
+    }
+    T* object = new (slot(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *object;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return *slot(i); }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return *slot(i); }
+  [[nodiscard]] T& at(std::size_t i) {
+    REX_REQUIRE(i < size_, "arena index out of range");
+    return *slot(i);
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    REX_REQUIRE(i < size_, "arena index out of range");
+    return *slot(i);
+  }
+
+ private:
+  struct alignas(alignof(T)) Storage {
+    std::byte bytes[sizeof(T)];
+  };
+
+  [[nodiscard]] T* slot(std::size_t i) const {
+    return std::launder(reinterpret_cast<T*>(
+        chunks_[i / kChunkObjects][i % kChunkObjects].bytes));
+  }
+
+  std::vector<std::unique_ptr<Storage[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rex

@@ -79,6 +79,32 @@ TEST(ScaleDeterminism, EventDriven10kIdenticalAcross1_2_8Threads) {
   run_discipline(scale_scenario(EngineMode::kEventDriven));
 }
 
+// The mega profile (DESIGN.md §10): 100k one-user nodes with the
+// lean-memory diet on — lazy MF user rows, the shared read-only test set,
+// arena-packed hosts and the sharded calendar queue (100k nodes is past the
+// 16384-nodes-per-shard threshold, so unlike the 10k cells these run with a
+// genuinely sharded queue). One epoch: the coverage target is bit-identity
+// of every metric across worker-thread counts at mega scale, not
+// convergence.
+constexpr std::size_t kMegaNodes = 100000;
+
+Scenario mega_scenario(EngineMode mode) {
+  Scenario s = scale_scenario(mode, kMegaNodes);
+  s.dataset.n_ratings = kMegaNodes * 5;
+  s.dataset.n_items = 50;
+  s.epochs = 1;
+  s.lean_memory = true;
+  return s;
+}
+
+TEST(ScaleDeterminism, Barrier100kLeanIdenticalAcross1_2_8Threads) {
+  run_discipline(mega_scenario(EngineMode::kBarrier), kMegaNodes);
+}
+
+TEST(ScaleDeterminism, EventDriven100kLeanIdenticalAcross1_2_8Threads) {
+  run_discipline(mega_scenario(EngineMode::kEventDriven), kMegaNodes);
+}
+
 // Compressed wire shares must not perturb thread determinism: the codec's
 // scratch buffers and the BufferPool recycling of encoded payloads are the
 // new thread-adjacent state this PR introduces. Smaller node count — the
