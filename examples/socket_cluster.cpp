@@ -1,0 +1,194 @@
+// socket_cluster: local multi-process cluster launcher (DESIGN.md §11).
+//
+// Spins up one process per node of a cluster config on this machine — the
+// committed examples/clusters/loopback4.json by default — waits for the
+// cluster to converge, and (with --verify) replays the exact same scenario
+// through the in-process simulator and checks the two RMSE trajectories
+// agree. This is the "same TrustedNode, real links" demonstration: the only
+// thing that changed between the two runs is the transport.
+//
+//   socket_cluster [--config FILE] [--out DIR] [--exec PATH]
+//                  [--verify] [--tolerance X] [--run-timeout S]
+//
+//   --exec PATH   launch PATH (a built rex_node binary) per node instead of
+//                 forking this process — the deployment-shaped variant CI
+//                 runs. Default forks and calls node::run_node in-process,
+//                 which needs no second binary.
+//   --verify      also run the simulated twin and compare per-epoch mean
+//                 RMSE within --tolerance (default 1e-6; native D-PSGD is
+//                 bit-identical in practice — docs/deployment.md explains
+//                 why). Requires --out to read the node CSVs back.
+//
+// Operator guide: docs/deployment.md.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "node/daemon.hpp"
+#include "sim/experiment.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+/// mean_rmse column of a sim::write_csv dump (one value per epoch row).
+std::vector<double> read_rmse_column(const std::string& path) {
+  std::ifstream file(path);
+  REX_REQUIRE(file.good(), "cannot read back " + path);
+  std::vector<double> rmse;
+  std::string line;
+  std::getline(file, line);  // header
+  while (std::getline(file, line)) {
+    std::stringstream row(line);
+    std::string cell;
+    for (int column = 0; std::getline(row, cell, ','); ++column) {
+      // epoch,time_s,nodes_reporting,reachable_fraction,mean_rmse,...
+      if (column == 4) {
+        rmse.push_back(std::strtod(cell.c_str(), nullptr));
+        break;
+      }
+    }
+  }
+  return rmse;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path = "examples/clusters/loopback4.json";
+  std::string out_dir;
+  std::string exec_path;
+  bool verify = false;
+  double tolerance = 1e-6;
+  double run_timeout_s = 300.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = value();
+    } else if (arg == "--out") {
+      out_dir = value();
+    } else if (arg == "--exec") {
+      exec_path = value();
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(value(), nullptr);
+    } else if (arg == "--run-timeout") {
+      run_timeout_s = std::strtod(value(), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: socket_cluster [--config FILE] [--out DIR]\n"
+                   "                      [--exec REX_NODE] [--verify]\n"
+                   "                      [--tolerance X] [--run-timeout S]\n");
+      return 2;
+    }
+  }
+  if (verify && out_dir.empty()) out_dir = "socket_cluster_out";
+
+  const rex::node::ClusterConfig config =
+      rex::node::ClusterConfig::load(config_path);
+  const std::size_t n = config.nodes.size();
+  std::printf("cluster \"%s\": %zu nodes, %zu epochs, fingerprint %016llx\n",
+              config.name.c_str(), n, config.scenario.epochs,
+              static_cast<unsigned long long>(config.fingerprint));
+
+  std::vector<pid_t> children;
+  children.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const pid_t pid = fork();
+    REX_REQUIRE(pid >= 0, "fork failed");
+    if (pid == 0) {
+      if (!exec_path.empty()) {
+        const std::string id_str = std::to_string(id);
+        const std::string timeout_str = std::to_string(run_timeout_s);
+        std::vector<const char*> args = {exec_path.c_str(), "--config",
+                                         config_path.c_str(), "--id",
+                                         id_str.c_str(), "--run-timeout",
+                                         timeout_str.c_str()};
+        if (!out_dir.empty()) {
+          args.push_back("--out");
+          args.push_back(out_dir.c_str());
+        }
+        args.push_back(nullptr);
+        execv(exec_path.c_str(), const_cast<char* const*>(args.data()));
+        std::perror("execv");
+        _exit(127);
+      }
+      try {
+        rex::node::NodeOptions options;
+        options.output_dir = out_dir;
+        options.run_timeout_s = run_timeout_s;
+        const rex::node::NodeReport report = rex::node::run_node(
+            config, static_cast<rex::net::NodeId>(id), options);
+        std::printf("node %zu: %llu epochs, final rmse %.6f\n", id,
+                    static_cast<unsigned long long>(report.epochs_completed),
+                    report.trajectory.final_rmse());
+        _exit(0);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "node %zu failed: %s\n", id, e.what());
+        _exit(1);
+      }
+    }
+    children.push_back(pid);
+  }
+
+  bool all_ok = true;
+  for (std::size_t id = 0; id < n; ++id) {
+    int status = 0;
+    waitpid(children[id], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "node %zu exited abnormally (status %d)\n", id,
+                   status);
+      all_ok = false;
+    }
+  }
+  if (!all_ok) return 1;
+  std::printf("cluster converged.\n");
+  if (!verify) return 0;
+
+  // ---- simulated twin ----
+  std::printf("verify: running the simulated twin...\n");
+  const rex::sim::ExperimentResult sim_result =
+      rex::sim::run_scenario(config.scenario);
+
+  std::vector<std::vector<double>> node_rmse;
+  for (std::size_t id = 0; id < n; ++id) {
+    node_rmse.push_back(read_rmse_column(out_dir + "/node_" +
+                                         std::to_string(id) + ".csv"));
+  }
+  double worst = 0.0;
+  for (std::size_t epoch = 0; epoch < sim_result.rounds.size(); ++epoch) {
+    double mean = 0.0;
+    for (const std::vector<double>& series : node_rmse) {
+      REX_REQUIRE(epoch < series.size(), "socket run recorded fewer epochs");
+      mean += series[epoch];
+    }
+    mean /= static_cast<double>(n);
+    worst = std::max(worst,
+                     std::fabs(mean - sim_result.rounds[epoch].mean_rmse));
+  }
+  std::printf("verify: max |socket - sim| mean RMSE over %zu epochs: %.3g "
+              "(tolerance %.3g)\n",
+              sim_result.rounds.size(), worst, tolerance);
+  if (worst > tolerance) {
+    std::fprintf(stderr, "verify FAILED: trajectories diverged\n");
+    return 1;
+  }
+  std::printf("verify passed: socket cluster matches the simulated twin.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs-consistency check, link edition: every relative markdown link in
+# README.md, DESIGN.md and docs/*.md must point at a file (or directory)
+# that exists in the repo. External links (http/https/mailto) and pure
+# in-page anchors (#...) are out of scope — this catches the common rot:
+# a doc or source file renamed while a sibling doc still points at the old
+# path. Companion to check_design_refs.sh (prose-citation direction); CI
+# runs both in the docs-consistency job.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+
+for doc in README.md DESIGN.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline links/images: [text](target) — tolerate an optional "title".
+  # One target per line; reference-style definitions ([ref]: target) are
+  # matched separately below.
+  targets=$(
+    grep -oE '\]\([^)[:space:]]+[^)]*\)' "$doc" |
+      sed -E 's/^\]\(//; s/[[:space:]]+"[^"]*"\)$//; s/\)$//'
+    grep -oE '^\[[^]]+\]:[[:space:]]*[^[:space:]]+' "$doc" |
+      sed -E 's/^\[[^]]+\]:[[:space:]]*//'
+  )
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"       # drop any fragment
+    [ -z "$path" ] && continue
+    case "$path" in
+      /*) resolved=".$path" ;;  # repo-absolute
+      *) resolved="$dir/$path" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "FAIL: $doc links to '$target' but '$resolved' does not exist" >&2
+      status=1
+    fi
+  done <<< "$targets"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: all $checked relative markdown links resolve"
+fi
+exit "$status"

@@ -1,0 +1,20 @@
+#include "core/cluster.hpp"
+
+#include "support/error.hpp"
+
+namespace rex::core {
+
+ClusterContext::ClusterContext(std::uint64_t seed, std::size_t platforms)
+    : identity_{enclave::measure_enclave_image("rex-enclave-v1")},
+      master_(seed) {
+  REX_REQUIRE(platforms >= 1, "at least one platform");
+  platform_drbg_ = std::make_unique<crypto::Drbg>(seed ^ kPlatformSeedSalt);
+  verifier_ = std::make_unique<enclave::DcapVerifier>();
+  for (std::size_t p = 0; p < platforms; ++p) {
+    quoting_enclaves_.push_back(std::make_unique<enclave::QuotingEnclave>(
+        static_cast<enclave::PlatformId>(p), *platform_drbg_));
+    verifier_->register_platform(*quoting_enclaves_.back());
+  }
+}
+
+}  // namespace rex::core

@@ -1,0 +1,181 @@
+#include "net/frame.hpp"
+
+
+#include "support/error.hpp"
+
+namespace rex::net {
+
+namespace {
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Little-endian reads off a cursor; false once the body runs short.
+struct Reader {
+  BytesView view;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t& v) {
+    if (pos + 1 > view.size()) return false;
+    v = view[pos++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (pos + 2 > view.size()) return false;
+    v = static_cast<std::uint16_t>(view[pos] | (view[pos + 1] << 8));
+    pos += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos + 4 > view.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(view[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos + 8 > view.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(view[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+};
+
+}  // namespace
+
+void append_frame(Bytes& out, FrameType type, BytesView body) {
+  REX_REQUIRE(body.size() <= kMaxFrameBody, "frame body over the size cap");
+  put_u32(out, static_cast<std::uint32_t>(1 + body.size()));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void append_hello(Bytes& out, NodeId node, std::uint64_t fingerprint) {
+  Bytes body;
+  body.reserve(18);
+  put_u32(body, kHelloMagic);
+  put_u16(body, kWireVersion);
+  put_u32(body, node);
+  put_u64(body, fingerprint);
+  append_frame(out, FrameType::kHello, body);
+}
+
+void append_data(Bytes& out, const Envelope& envelope) {
+  // Header layout == Envelope::kHeaderSize accounting: the u32 length
+  // prefix plus src/dst/kind. Emitted inline (not via append_frame) to
+  // avoid staging the payload through a temporary body vector.
+  const std::size_t body = 2 * sizeof(NodeId) + 1 + envelope.payload.size();
+  REX_REQUIRE(body + 1 <= kMaxFrameBody, "envelope payload over the size cap");
+  put_u32(out, static_cast<std::uint32_t>(1 + body));
+  out.push_back(static_cast<std::uint8_t>(FrameType::kData));
+  put_u32(out, envelope.src);
+  put_u32(out, envelope.dst);
+  out.push_back(static_cast<std::uint8_t>(envelope.kind));
+  const BytesView payload = envelope.payload;
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_ping(Bytes& out, std::uint64_t token) {
+  Bytes body;
+  body.reserve(8);
+  put_u64(body, token);
+  append_frame(out, FrameType::kPing, body);
+}
+
+void append_pong(Bytes& out, std::uint64_t token) {
+  Bytes body;
+  body.reserve(8);
+  put_u64(body, token);
+  append_frame(out, FrameType::kPong, body);
+}
+
+void append_done(Bytes& out, NodeId node, std::uint64_t epochs) {
+  Bytes body;
+  body.reserve(12);
+  put_u32(body, node);
+  put_u64(body, epochs);
+  append_frame(out, FrameType::kDone, body);
+}
+
+bool parse_data(BytesView body, DataFrame& out) {
+  Reader r{body};
+  std::uint8_t kind = 0;
+  if (!r.u32(out.src) || !r.u32(out.dst) || !r.u8(kind)) return false;
+  if (kind > static_cast<std::uint8_t>(MessageKind::kResync)) return false;
+  out.kind = static_cast<MessageKind>(kind);
+  out.payload = body.subspan(r.pos);
+  return true;
+}
+
+bool parse_hello(BytesView body, HelloFrame& out) {
+  Reader r{body};
+  std::uint32_t magic = 0;
+  if (!r.u32(magic) || magic != kHelloMagic) return false;
+  if (!r.u16(out.version) || !r.u32(out.node) || !r.u64(out.fingerprint)) {
+    return false;
+  }
+  return r.pos == body.size();
+}
+
+bool parse_ping_token(BytesView body, std::uint64_t& token) {
+  Reader r{body};
+  return r.u64(token) && r.pos == body.size();
+}
+
+bool parse_done(BytesView body, DoneFrame& out) {
+  Reader r{body};
+  return r.u32(out.node) && r.u64(out.epochs) && r.pos == body.size();
+}
+
+void FrameParser::feed(BytesView bytes) {
+  // Compact before growing: once the unread suffix would sit on top of a
+  // large consumed prefix, slide it down so the buffer does not creep.
+  if (head_ > 0 && (head_ == buffer_.size() || head_ >= 4096)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameParser::next() {
+  const std::size_t avail = buffer_.size() - head_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer_[head_ + i]) << (8 * i);
+  }
+  REX_REQUIRE(length >= 1 && length <= kMaxFrameBody + 1,
+              "malformed frame length prefix");
+  if (avail < 4 + static_cast<std::size_t>(length)) return std::nullopt;
+  const std::uint8_t type = buffer_[head_ + 4];
+  REX_REQUIRE(type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+                  type <= static_cast<std::uint8_t>(FrameType::kDone),
+              "unknown frame type");
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body = BytesView(buffer_).subspan(head_ + 5, length - 1);
+  head_ += 4 + length;
+  return frame;
+}
+
+}  // namespace rex::net

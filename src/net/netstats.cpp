@@ -1,0 +1,37 @@
+#include "net/netstats.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace rex::net {
+
+void write_netstats_csv(const std::string& path, NodeId self,
+                        const NetStats& stats) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  REX_REQUIRE(file != nullptr, "cannot open netstats csv for writing");
+  std::fprintf(file.get(),
+               "self,peer,bytes_tx,bytes_rx,frames_tx,frames_rx,data_tx,"
+               "data_rx,connects,reconnects,rtt_ewma_s,rtt_last_s,rtt_min_s,"
+               "rtt_max_s,rtt_samples\n");
+  for (const auto& [peer, s] : stats.peers()) {
+    std::fprintf(file.get(),
+                 "%u,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.9f,%.9f,"
+                 "%.9f,%.9f,%llu\n",
+                 static_cast<unsigned>(self), static_cast<unsigned>(peer),
+                 static_cast<unsigned long long>(s.bytes_tx),
+                 static_cast<unsigned long long>(s.bytes_rx),
+                 static_cast<unsigned long long>(s.frames_tx),
+                 static_cast<unsigned long long>(s.frames_rx),
+                 static_cast<unsigned long long>(s.data_tx),
+                 static_cast<unsigned long long>(s.data_rx),
+                 static_cast<unsigned long long>(s.connects),
+                 static_cast<unsigned long long>(s.reconnects), s.rtt_s,
+                 s.rtt_last_s, s.rtt_min_s, s.rtt_max_s,
+                 static_cast<unsigned long long>(s.rtt_samples));
+  }
+}
+
+}  // namespace rex::net

@@ -1,0 +1,194 @@
+#include "node/cluster_config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+#include "serialize/json.hpp"
+#include "support/error.hpp"
+
+namespace rex::node {
+
+namespace {
+
+using serialize::Json;
+using serialize::JsonObject;
+
+/// Rejects unknown keys so a typo'd knob fails loudly instead of silently
+/// producing a config whose fingerprint still matches nothing.
+void check_keys(const JsonObject& object,
+                std::initializer_list<const char*> allowed,
+                const char* where) {
+  for (const auto& [key, value] : object) {
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    REX_REQUIRE(known, std::string("unknown cluster config key \"") + key +
+                           "\" in " + where);
+  }
+}
+
+std::uint64_t get_u64(const Json& object, const char* key,
+                      std::uint64_t fallback) {
+  if (!object.contains(key)) return fallback;
+  const std::int64_t value = object.at(key).as_int();
+  REX_REQUIRE(value >= 0, std::string(key) + " must be non-negative");
+  return static_cast<std::uint64_t>(value);
+}
+
+double get_f64(const Json& object, const char* key, double fallback) {
+  return object.contains(key) ? object.at(key).as_number() : fallback;
+}
+
+core::Algorithm parse_algorithm(const std::string& s) {
+  if (s == "dpsgd") return core::Algorithm::kDpsgd;
+  if (s == "rmw") return core::Algorithm::kRmw;
+  REX_REQUIRE(false, "algorithm must be \"dpsgd\" or \"rmw\"");
+  return core::Algorithm::kDpsgd;
+}
+
+core::SharingMode parse_sharing(const std::string& s) {
+  if (s == "raw") return core::SharingMode::kRawData;
+  if (s == "model") return core::SharingMode::kModel;
+  REX_REQUIRE(false, "sharing must be \"raw\" (REX) or \"model\" (MS)");
+  return core::SharingMode::kRawData;
+}
+
+enclave::SecurityMode parse_security(const std::string& s) {
+  if (s == "native") return enclave::SecurityMode::kNative;
+  if (s == "sgx") return enclave::SecurityMode::kSgxSimulated;
+  REX_REQUIRE(false, "security must be \"native\" or \"sgx\"");
+  return enclave::SecurityMode::kNative;
+}
+
+sim::ModelKind parse_model(const std::string& s) {
+  if (s == "mf") return sim::ModelKind::kMf;
+  if (s == "dnn") return sim::ModelKind::kDnn;
+  REX_REQUIRE(false, "model must be \"mf\" or \"dnn\"");
+  return sim::ModelKind::kMf;
+}
+
+sim::TopologyKind parse_topology(const std::string& s) {
+  if (s == "smallworld") return sim::TopologyKind::kSmallWorld;
+  if (s == "er") return sim::TopologyKind::kErdosRenyi;
+  if (s == "full") return sim::TopologyKind::kFullyConnected;
+  REX_REQUIRE(false, "topology must be \"smallworld\", \"er\" or \"full\"");
+  return sim::TopologyKind::kSmallWorld;
+}
+
+}  // namespace
+
+const ClusterNode& ClusterConfig::node(net::NodeId id) const {
+  REX_REQUIRE(id < nodes.size(), "node id outside the cluster");
+  return nodes[id];
+}
+
+ClusterConfig ClusterConfig::parse(const std::string& json_text) {
+  const Json root = Json::parse(json_text);
+  check_keys(root.as_object(),
+             {"cluster", "seed", "platforms", "epochs", "security",
+              "algorithm", "sharing", "model", "topology", "dataset",
+              "train_fraction", "data_points_per_epoch", "rmw_period_s",
+              "sw_close_connections", "sw_far_probability",
+              "er_edge_probability", "mf_embedding_dim",
+              "mf_sgd_steps_per_epoch", "nodes"},
+             "the top-level object");
+
+  ClusterConfig config;
+  config.name = root.at("cluster").as_string();
+  sim::Scenario& scenario = config.scenario;
+  scenario.label = config.name;
+
+  scenario.seed = get_u64(root, "seed", scenario.seed);
+  scenario.platforms =
+      static_cast<std::size_t>(get_u64(root, "platforms", scenario.platforms));
+  scenario.epochs =
+      static_cast<std::size_t>(get_u64(root, "epochs", scenario.epochs));
+  scenario.train_fraction =
+      get_f64(root, "train_fraction", scenario.train_fraction);
+  if (root.contains("security")) {
+    scenario.rex.security = parse_security(root.at("security").as_string());
+  }
+  if (root.contains("algorithm")) {
+    scenario.rex.algorithm = parse_algorithm(root.at("algorithm").as_string());
+  }
+  if (root.contains("sharing")) {
+    scenario.rex.sharing = parse_sharing(root.at("sharing").as_string());
+  }
+  if (root.contains("model")) {
+    scenario.model = parse_model(root.at("model").as_string());
+  }
+  if (root.contains("topology")) {
+    scenario.topology = parse_topology(root.at("topology").as_string());
+  }
+  scenario.rex.data_points_per_epoch = static_cast<std::size_t>(get_u64(
+      root, "data_points_per_epoch", scenario.rex.data_points_per_epoch));
+  scenario.rex.rmw_period_s =
+      get_f64(root, "rmw_period_s", scenario.rex.rmw_period_s);
+  scenario.sw_close_connections = static_cast<std::size_t>(
+      get_u64(root, "sw_close_connections", scenario.sw_close_connections));
+  scenario.sw_far_probability =
+      get_f64(root, "sw_far_probability", scenario.sw_far_probability);
+  scenario.er_edge_probability =
+      get_f64(root, "er_edge_probability", scenario.er_edge_probability);
+  scenario.mf_embedding_dim = static_cast<std::size_t>(
+      get_u64(root, "mf_embedding_dim", scenario.mf_embedding_dim));
+  scenario.mf_sgd_steps_per_epoch = static_cast<std::size_t>(get_u64(
+      root, "mf_sgd_steps_per_epoch", scenario.mf_sgd_steps_per_epoch));
+
+  if (root.contains("dataset")) {
+    const Json& dataset = root.at("dataset");
+    check_keys(dataset.as_object(),
+               {"users", "items", "ratings", "min_ratings_per_user"},
+               "\"dataset\"");
+    scenario.dataset.n_users = static_cast<std::size_t>(
+        get_u64(dataset, "users", scenario.dataset.n_users));
+    scenario.dataset.n_items = static_cast<std::size_t>(
+        get_u64(dataset, "items", scenario.dataset.n_items));
+    scenario.dataset.n_ratings = static_cast<std::size_t>(
+        get_u64(dataset, "ratings", scenario.dataset.n_ratings));
+    scenario.dataset.min_ratings_per_user = static_cast<std::size_t>(get_u64(
+        dataset, "min_ratings_per_user",
+        scenario.dataset.min_ratings_per_user));
+  }
+
+  const auto& nodes = root.at("nodes").as_array();
+  REX_REQUIRE(nodes.size() >= 2, "a cluster needs at least 2 nodes");
+  config.nodes.reserve(nodes.size());
+  for (const Json& entry : nodes) {
+    check_keys(entry.as_object(), {"id", "host", "port"}, "a \"nodes\" entry");
+    ClusterNode node;
+    node.id = static_cast<net::NodeId>(entry.at("id").as_int());
+    node.endpoint.host = entry.at("host").as_string();
+    const std::int64_t port = entry.at("port").as_int();
+    REX_REQUIRE(port > 0 && port <= 65535, "node port out of range");
+    node.endpoint.port = static_cast<std::uint16_t>(port);
+    config.nodes.push_back(std::move(node));
+  }
+  for (std::size_t i = 0; i < config.nodes.size(); ++i) {
+    REX_REQUIRE(config.nodes[i].id == i,
+                "node ids must be exactly 0..n-1 in order");
+  }
+  scenario.nodes = config.nodes.size();
+  // One process = one node: no worker pool inside a daemon.
+  scenario.threads = 1;
+
+  const crypto::Sha256Digest digest =
+      crypto::sha256(to_bytes(root.dump()));  // canonical: sorted keys
+  config.fingerprint = load_le64(digest.data());
+  return config;
+}
+
+ClusterConfig ClusterConfig::load(const std::string& path) {
+  std::ifstream file(path);
+  REX_REQUIRE(file.good(), "cannot open cluster config: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+}  // namespace rex::node

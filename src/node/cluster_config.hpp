@@ -1,0 +1,58 @@
+// Deployment cluster config: one committed JSON file describes a whole
+// multi-process run (DESIGN.md §11; operator guide: docs/deployment.md).
+//
+// Every rex_node process is launched with the same config file plus its own
+// node id. The file carries two kinds of information:
+//
+//   experiment   everything sim::prepare_scenario needs — dataset preset,
+//                topology kind, algorithm, sharing mode, model family,
+//                epochs, seed, platform count. Each process regenerates the
+//                full dataset/split/topology deterministically from these
+//                fields and keeps only its own shard, so no data files move
+//                between machines.
+//
+//   placement    the endpoint table: where each node id listens. This is
+//                the only part a simulated run does not have.
+//
+// The SHA-256 of the canonical (sorted-key, compact) JSON dump, truncated
+// to 64 bits, is the cluster fingerprint every HELLO frame carries: two
+// processes launched from divergent configs refuse to talk instead of
+// training against mismatched datasets (net/frame.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "sim/experiment.hpp"
+
+namespace rex::node {
+
+struct ClusterNode {
+  net::NodeId id = 0;
+  net::SocketEndpoint endpoint;
+};
+
+struct ClusterConfig {
+  std::string name;
+  /// The derived experiment description — the same value a simulated twin
+  /// of this cluster would run (tests/socket_cluster_test.cpp holds the
+  /// two trajectories equal).
+  sim::Scenario scenario;
+  /// Endpoint per node, sorted by id; ids are exactly 0..n-1.
+  std::vector<ClusterNode> nodes;
+  /// sha256(canonical JSON)[0..8) — the HELLO handshake fingerprint.
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] const ClusterNode& node(net::NodeId id) const;
+
+  /// Parses a config document; throws rex::Error on malformed JSON, unknown
+  /// keys (typos must not silently fingerprint-match), bad enum strings or
+  /// non-contiguous node ids. Format reference: docs/deployment.md.
+  [[nodiscard]] static ClusterConfig parse(const std::string& json_text);
+
+  /// Reads and parses a config file.
+  [[nodiscard]] static ClusterConfig load(const std::string& path);
+};
+
+}  // namespace rex::node

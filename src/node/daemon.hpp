@@ -1,0 +1,81 @@
+// rex_node daemon loop: one process = one TrustedNode over real sockets
+// (DESIGN.md §11; operator guide: docs/deployment.md).
+//
+// run_node() is the whole lifecycle of one deployed node:
+//
+//   derive    prepare_scenario regenerates dataset/split/topology from the
+//             cluster config; core::ClusterContext derives the platform
+//             services and this node's seed. Both are pure functions of the
+//             config, so every process independently computes the same
+//             world and keeps only its own shard.
+//
+//   connect   one TCP connection per topology edge (lower id dials,
+//             higher id accepts — net/socket_transport.hpp).
+//
+//   attest    secure mode runs the paper's mutual attestation handshake
+//             over the live links before any protocol byte flows.
+//
+//   train     ecall_init runs epoch 0, then the event loop pumps
+//             deliveries into the enclave until the epoch target is
+//             reached. D-PSGD epochs trigger on the last neighbor arrival
+//             (merge order is neighbor-rank, not arrival — which is why a
+//             native D-PSGD socket run reproduces its simulated twin's
+//             RMSE trajectory bit-for-bit); RMW trains on a wall-clock
+//             period timer.
+//
+//   done      a DONE frame to every neighbor, then linger until all
+//             neighbors announced DONE and the tx queues drained — the
+//             cluster's shutdown barrier.
+//
+// The wall-clock run writes the same CSV artifacts a simulated run does
+// (sim::write_csv) plus the per-peer netstats ledger (docs/reporting.md).
+#pragma once
+
+#include <string>
+
+#include "net/netstats.hpp"
+#include "net/transport.hpp"
+#include "node/cluster_config.hpp"
+#include "sim/metrics.hpp"
+
+namespace rex::node {
+
+struct NodeOptions {
+  /// Overrides the config's listen port for this node (0 = use the config;
+  /// tests bind ephemeral ports to avoid collisions).
+  std::uint16_t listen_port_override = 0;
+  /// Directory for node_<id>.csv + netstats_<id>.csv; empty = no files.
+  std::string output_dir;
+  /// Abort if the full neighbor mesh is not up within this many seconds.
+  double connect_timeout_s = 30.0;
+  /// Abort if the epoch target is not reached within this many seconds.
+  double run_timeout_s = 600.0;
+  /// RMW only: wall-clock train period. Falls back to the scenario's
+  /// rmw_period_s, and to 0.25 s if that is 0 (self-pacing needs a real
+  /// clock period once time is wall time).
+  double rmw_wall_period_s = 0.0;
+  /// One status line per epoch on stdout.
+  bool verbose = false;
+};
+
+/// What one finished node reports (and what the loopback equivalence test
+/// compares against the simulated twin).
+struct NodeReport {
+  net::NodeId id = 0;
+  /// Node-local per-epoch trajectory. RoundRecord fields that aggregate
+  /// over nodes (mean/min/max) all carry this single node's value;
+  /// times are wall-clock seconds since ecall_init (NOT simulated time —
+  /// see docs/reporting.md).
+  sim::ExperimentResult trajectory;
+  std::uint64_t epochs_completed = 0;
+  net::TrafficStats traffic;  // envelope-level accounting (wire_size)
+  net::NetStats netstats;     // socket-level per-peer ledger
+};
+
+/// Runs node `self` of `config` to completion. Throws rex::Error on
+/// connect/run timeout, attestation failure or fingerprint mismatch.
+[[nodiscard]] NodeReport run_node(const ClusterConfig& config,
+                                  net::NodeId self,
+                                  const NodeOptions& options = {});
+
+}  // namespace rex::node

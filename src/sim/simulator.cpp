@@ -26,15 +26,12 @@ Simulator::Simulator(Setup setup)
   pool_ = std::make_unique<ThreadPool>(setup.threads);
 
   // Platform services: `platforms` machines, nodes assigned round-robin
-  // (the paper runs 2 processes per machine on 4 SGX servers).
-  platform_drbg_ = std::make_unique<crypto::Drbg>(setup.seed ^
-                                                  0x5157E35EED5EEDULL);
-  verifier_ = std::make_unique<enclave::DcapVerifier>();
-  for (std::size_t p = 0; p < setup.platforms; ++p) {
-    quoting_enclaves_.push_back(std::make_unique<enclave::QuotingEnclave>(
-        static_cast<enclave::PlatformId>(p), *platform_drbg_));
-    verifier_->register_platform(*quoting_enclaves_.back());
-  }
+  // (the paper runs 2 processes per machine on 4 SGX servers). The shared
+  // ClusterContext keeps these derivations identical between this
+  // single-process simulator and the multi-process socket deployment
+  // (DESIGN.md §11).
+  cluster_ = std::make_unique<core::ClusterContext>(setup.seed,
+                                                    setup.platforms);
 
   // Byzantine fault kinds need the enclaves to count-and-discard hostile
   // envelopes rather than abort the run (core/config.hpp) — decided before
@@ -45,17 +42,11 @@ Simulator::Simulator(Setup setup)
     rex_.tolerate_byzantine = true;
   }
 
-  // All REX nodes run the same enclave image (§III-A): one shared identity.
-  const enclave::EnclaveIdentity identity{
-      enclave::measure_enclave_image("rex-enclave-v1")};
-
-  Rng master(setup.seed);
   for (core::NodeId id = 0; id < n; ++id) {
-    const std::uint64_t node_seed = master.derive(id).seed();
-    hosts_.emplace_back(
-        rex_, id, identity,
-        quoting_enclaves_[id % quoting_enclaves_.size()].get(),
-        verifier_.get(), setup.model_factory, node_seed, *transport_);
+    hosts_.emplace_back(rex_, id, cluster_->identity(),
+                        cluster_->quoting_enclave(id), cluster_->verifier(),
+                        setup.model_factory, cluster_->node_seed(id),
+                        *transport_);
   }
 
   SimEngine::Config engine_config;

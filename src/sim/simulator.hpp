@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "core/config.hpp"
 #include "core/untrusted_host.hpp"
 #include "data/partition.hpp"
@@ -114,10 +115,9 @@ class Simulator {
   std::vector<data::NodeShard> shards_;  // consumed by initialize_nodes()
   std::unique_ptr<ThreadPool> pool_;
 
-  // Platform services (SGX mode).
-  std::unique_ptr<crypto::Drbg> platform_drbg_;
-  std::vector<std::unique_ptr<enclave::QuotingEnclave>> quoting_enclaves_;
-  std::unique_ptr<enclave::DcapVerifier> verifier_;
+  /// Platform services + per-node seed derivation, shared bit-for-bit with
+  /// the multi-process socket deployment (core/cluster.hpp).
+  std::unique_ptr<core::ClusterContext> cluster_;
 
   ExperimentResult result_;
   std::unique_ptr<SimEngine> engine_;  // after everything it borrows

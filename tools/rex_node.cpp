@@ -1,0 +1,92 @@
+// rex_node: the deployment daemon. One process runs one TrustedNode of a
+// cluster config over real TCP links (DESIGN.md §11).
+//
+//   rex_node --config examples/clusters/loopback4.json --id 2
+//            [--out runs/loopback4] [--port 18002] [--verbose]
+//            [--connect-timeout 30] [--run-timeout 600]
+//
+// Exit code 0 once the node reached the cluster's epoch target and every
+// neighbor announced DONE; non-zero (with a one-line reason on stderr) on
+// config errors, connect/attestation timeouts or a fingerprint mismatch.
+// Operator guide: docs/deployment.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "node/daemon.hpp"
+#include "support/bytes.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: rex_node --config FILE --id N [--out DIR] [--port P]\n"
+      "                [--connect-timeout S] [--run-timeout S] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  long id = -1;
+  rex::node::NodeOptions options;
+  options.verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = value();
+    } else if (arg == "--id") {
+      id = std::strtol(value(), nullptr, 10);
+    } else if (arg == "--out") {
+      options.output_dir = value();
+    } else if (arg == "--port") {
+      options.listen_port_override =
+          static_cast<std::uint16_t>(std::strtol(value(), nullptr, 10));
+    } else if (arg == "--connect-timeout") {
+      options.connect_timeout_s = std::strtod(value(), nullptr);
+    } else if (arg == "--run-timeout") {
+      options.run_timeout_s = std::strtod(value(), nullptr);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (config_path.empty() || id < 0) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const rex::node::ClusterConfig config =
+        rex::node::ClusterConfig::load(config_path);
+    const rex::node::NodeReport report = rex::node::run_node(
+        config, static_cast<rex::net::NodeId>(id), options);
+    std::printf(
+        "rex_node %ld done: %llu epochs, final rmse %.6f, "
+        "%s sent / %s received, %llu reconnects\n",
+        id, static_cast<unsigned long long>(report.epochs_completed),
+        report.trajectory.final_rmse(),
+        rex::format_bytes(static_cast<double>(report.traffic.bytes_sent))
+            .c_str(),
+        rex::format_bytes(static_cast<double>(report.traffic.bytes_received))
+            .c_str(),
+        static_cast<unsigned long long>(report.netstats.total_reconnects()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rex_node %ld failed: %s\n", id, e.what());
+    return 1;
+  }
+}
